@@ -1,0 +1,33 @@
+// Shared helpers for the experiment harnesses (E1..E10, DESIGN.md §4).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "util/u128.h"
+
+namespace asyncrv::bench {
+
+inline void header(const std::string& experiment, const std::string& artifact,
+                   const std::string& what) {
+  std::cout << "==================================================================\n";
+  std::cout << experiment << " — reproduces: " << artifact << "\n";
+  std::cout << what << "\n";
+  std::cout << "==================================================================\n";
+}
+
+inline std::string fit_exponent_note(double log_ratio, double size_ratio) {
+  // Crude growth-exponent estimate from two (size, value) points.
+  const double e = log_ratio / size_ratio;
+  return "growth exponent ~ " + std::to_string(e);
+}
+
+inline std::string sat_str(const SatU128& v) {
+  if (v.is_saturated() || v.log10() > 18.0) {
+    return "10^" + std::to_string(v.log10()).substr(0, 5);
+  }
+  return v.str();
+}
+
+}  // namespace asyncrv::bench

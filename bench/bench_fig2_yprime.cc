@@ -1,0 +1,65 @@
+// Experiment E2 — Figure 2 of the paper: trajectory Y'(k, v1).
+//
+// Figure 2 depicts Y'(k, v1): the agent follows the trunk R(k, v1) =
+// (v1 ... vs), inserting a full Q(k, vi) before each trunk step and a final
+// Q(k, vs). This harness walks Y'(k, v) for increasing k, checks that the
+// trunk extracted from between the insertions is exactly R(k, v), and
+// prints the insertion-count/offset table.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/builders.h"
+#include "traj/traj.h"
+
+int main() {
+  using namespace asyncrv;
+  bench::header("E2 (bench_fig2_yprime)", "Figure 2: trajectory Y'(k, v1)",
+                "trunk R(k,v1) with Q(k,vi) inserted at every trunk node");
+
+  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
+  const Graph g = make_grid(3, 3);
+  const LengthCalculus& c = kit.lengths();
+
+  std::cout << std::setw(4) << "k" << std::setw(10) << "P(k)" << std::setw(12)
+            << "|Q(k)|" << std::setw(14) << "|Y'(k)|" << std::setw(12)
+            << "walked" << std::setw(12) << "trunk-ok" << "\n";
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    // Reference trunk.
+    Walker wr(g, 0);
+    std::vector<Move> trunk;
+    {
+      auto r = follow_R(wr, kit, k);
+      while (r.next()) trunk.push_back(r.value());
+    }
+    // Walk Y' and extract the moves at the trunk offsets.
+    Walker wy(g, 0);
+    auto yp = follow_Yprime(wy, kit, k);
+    const std::uint64_t q_len = c.Q(k).to_u64_clamped();
+    std::uint64_t walked = 0;
+    std::size_t trunk_idx = 0;
+    std::uint64_t next_trunk_move = q_len + 1;  // 1-based position
+    bool trunk_ok = true;
+    while (yp.next()) {
+      ++walked;
+      if (walked == next_trunk_move) {
+        const Move& m = yp.value();
+        if (trunk_idx >= trunk.size() ||
+            m.port_out != trunk[trunk_idx].port_out ||
+            m.from != trunk[trunk_idx].from) {
+          trunk_ok = false;
+        }
+        ++trunk_idx;
+        next_trunk_move += q_len + 1;
+      }
+    }
+    std::cout << std::setw(4) << k << std::setw(10) << kit.uxs().length(k)
+              << std::setw(12) << c.Q(k).str() << std::setw(14)
+              << c.Yprime(k).str() << std::setw(12) << walked << std::setw(12)
+              << (trunk_ok && trunk_idx == trunk.size() ? "yes" : "NO") << "\n";
+    if (!trunk_ok || walked != c.Yprime(k).to_u64_clamped()) return 1;
+  }
+  std::cout << "\nTrunk preserved under insertions — Figure 2 structure "
+               "reproduced.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment E6b — the synchronization interlock of Lemmas 3.2-3.6.
+//
+// The cost analysis rests on an interlock: before the meeting, neither
+// agent can be more than n + l fences ahead of the other's completed
+// pieces (each fence "pushes" the other agent through a piece, or the
+// meeting happens). The harness runs the instrumented routes under every
+// adversary strategy and prints the maximum observed fence lead against
+// the allowance — a violation would falsify the analysis and fails the
+// binary.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "graph/builders.h"
+#include "rv/label.h"
+#include "rv/sync_check.h"
+
+int main() {
+  using namespace asyncrv;
+  bench::header("E6b (bench_sync_interlock)",
+                "Lemmas 3.2-3.6: the fence/piece interlock",
+                "max pre-meeting fence lead vs the n+l allowance");
+
+  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
+  const std::uint64_t la = 6, lb = 11;
+  const auto m =
+      static_cast<std::uint64_t>(std::min(label_length(la), label_length(lb)));
+  const std::uint64_t l = 2 * m + 2;
+
+  std::cout << std::setw(10) << "graph" << std::setw(14) << "adversary"
+            << std::setw(10) << "met" << std::setw(12) << "max lead"
+            << std::setw(12) << "allowance" << std::setw(12) << "cost\n";
+  bool all_ok = true;
+  for (Node n : {Node{3}, Node{4}, Node{6}}) {
+    const Graph g = make_ring(n);
+    const auto names = adversary_battery_names();
+    std::size_t ai = 0;
+    for (auto& adv : adversary_battery(0xE6B)) {
+      const SyncCheckResult res =
+          run_sync_check(g, kit, 0, la, n / 2, lb, *adv, 20'000'000);
+      std::cout << std::setw(7) << "ring" << n << std::setw(14) << names[ai]
+                << std::setw(10) << (res.met ? "yes" : "NO") << std::setw(12)
+                << res.max_fence_lead << std::setw(12) << (n + l)
+                << std::setw(12) << res.cost << "\n";
+      all_ok = all_ok && res.met && res.interlock_held;
+      if (!res.interlock_held) std::cout << "  VIOLATION: " << res.violation << "\n";
+      ++ai;
+    }
+  }
+  if (!all_ok) return 1;
+  std::cout << "\nInterlock held on every pre-meeting prefix — the engine of "
+               "Theorem 3.1's cost analysis, observed directly.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment E0 — the exploration substrate itself (Section 2, R(k, v)).
+//
+// The admissibility of the substituted exploration sequence (DESIGN.md
+// §2.1) rests on two measurements this harness regenerates:
+//  (1) exhaustive certification: the default sequence is a TRUE universal
+//      exploration sequence for every port-numbered graph with <= 4 nodes
+//      (every topology x every port numbering x every start);
+//  (2) coverage headroom: across the medium catalog, the step at which the
+//      last edge is first covered, versus the P(k) budget — the margin by
+//      which the sequence over-delivers at the sizes the experiments use.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "explore/coverage.h"
+#include "explore/uxs_search.h"
+#include "graph/catalog.h"
+
+int main() {
+  using namespace asyncrv;
+  bench::header("E0 (bench_uxs)", "Section 2: the R(k, v) substrate",
+                "exhaustive tiny-size certification + coverage headroom");
+
+  std::cout << "(1) exhaustive certification, n <= 4:\n";
+  std::cout << std::setw(10) << "profile" << std::setw(12) << "graphs"
+            << std::setw(10) << "starts" << std::setw(12) << "universal\n";
+  struct NamedProfile {
+    const char* name;
+    PPoly p;
+  };
+  for (const NamedProfile& np :
+       {NamedProfile{"standard", PPoly::standard()},
+        NamedProfile{"compact", PPoly::compact()},
+        NamedProfile{"tiny", PPoly::tiny()}}) {
+    Uxs uxs(np.p, 0x5eed0001);
+    const UniversalityCertificate cert = certify_uxs(uxs, 4);
+    std::cout << std::setw(10) << np.name << std::setw(12) << cert.graphs_checked
+              << std::setw(10) << cert.starts_checked << std::setw(12)
+              << (cert.universal ? "yes" : "NO") << "\n";
+    if (!cert.universal) {
+      std::cout << "  " << cert.first_failure << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "\n(2) coverage headroom on the medium catalog (standard "
+               "profile, worst start per graph):\n";
+  std::cout << std::setw(18) << "graph" << std::setw(6) << "n" << std::setw(10)
+            << "P(n)" << std::setw(14) << "last-cover" << std::setw(12)
+            << "headroom\n";
+  Uxs uxs(PPoly::standard(), 0x5eed0001);
+  for (const auto& [name, g] : medium_catalog()) {
+    std::uint64_t worst_cover = 0;
+    bool all = true;
+    for (Node v = 0; v < g.size(); ++v) {
+      const CoverageReport rep = run_coverage(g, uxs, g.size(), v);
+      all = all && rep.all_edges;
+      if (rep.first_full_cover > worst_cover) worst_cover = rep.first_full_cover;
+    }
+    const std::uint64_t budget = uxs.length(g.size());
+    std::cout << std::setw(18) << name << std::setw(6) << g.size()
+              << std::setw(10) << budget << std::setw(14) << worst_cover
+              << std::setw(11)
+              << (worst_cover > 0 ? budget / worst_cover : 0) << "x"
+              << (all ? "" : "  NOT COVERED") << "\n";
+    if (!all) return 1;
+  }
+  std::cout << "\nEvery instance covered with a comfortable multiple of the "
+               "needed steps — the substitution of DESIGN.md §2.1, "
+               "quantified.\n";
+  return 0;
+}

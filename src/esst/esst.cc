@@ -1,0 +1,163 @@
+#include "esst/esst.h"
+
+#include <set>
+#include <vector>
+
+namespace asyncrv {
+
+namespace {
+
+/// Yields one move for the generator and updates the shared cost counter.
+/// (The environment updates io between the yield and the resume.)
+#define ASYNCRV_ESST_MOVE(port_expr)                      \
+  io.token_swept = false;                                 \
+  m = w.take(port_expr);                                  \
+  result.cost += 1;                                       \
+  co_yield m
+
+}  // namespace
+
+Generator<Move> esst_route(Walker& w, const TrajKit& kit, EsstIo& io,
+                           EsstResult& result) {
+  Move m;
+  for (std::uint64_t phase = 3;; phase += 3) {
+    result.phases_attempted += 1;
+    // ---- Trunc: R(2*phase, v) with cleanliness and sighting tracking.
+    bool clean = w.degree() <= static_cast<int>(phase) - 1;
+    bool token_seen = io.token_here();
+    std::vector<Port> trunc_ports;      // ports taken, for forward re-walks
+    std::vector<std::uint16_t> trunc_pins;  // entry ports, for backtracking
+    {
+      RStepper rs(kit.uxs());
+      const std::uint64_t len = kit.uxs().length(2 * phase);
+      trunc_ports.reserve(len);
+      trunc_pins.reserve(len);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        const Port p = rs.next_port(w.degree());
+        ASYNCRV_ESST_MOVE(p);
+        rs.advance(m);
+        trunc_ports.push_back(p);
+        trunc_pins.push_back(static_cast<std::uint16_t>(m.port_in));
+        if (io.token_swept || io.token_here()) token_seen = true;
+        if (w.degree() > static_cast<int>(phase) - 1) clean = false;
+      }
+    }
+    if (!clean || !token_seen) continue;  // abort; next phase starts here
+
+    // ---- Backtrack to the trunc's first node u_1.
+    for (std::size_t i = trunc_pins.size(); i > 0; --i) {
+      ASYNCRV_ESST_MOVE(static_cast<Port>(trunc_pins[i - 1]));
+    }
+
+    // ---- Scan: R(phase, u_j) at every trunc node, with interrupts.
+    std::set<std::vector<Port>> codes;
+    bool aborted = false;
+    const std::uint64_t trunc_len = trunc_ports.size();
+    for (std::uint64_t j = 0; j <= trunc_len; ++j) {
+      bool saw = false;
+      if (io.token_here()) {
+        codes.insert({});  // the token is at u_j: empty code
+        saw = true;
+      } else {
+        RStepper rj(kit.uxs());
+        std::vector<Port> code;
+        std::vector<std::uint16_t> pins;
+        const std::uint64_t len = kit.uxs().length(phase);
+        for (std::uint64_t t = 0; t < len; ++t) {
+          const Port p = rj.next_port(w.degree());
+          ASYNCRV_ESST_MOVE(p);
+          rj.advance(m);
+          code.push_back(p);
+          pins.push_back(static_cast<std::uint16_t>(m.port_in));
+          if (io.token_swept || io.token_here()) {
+            codes.insert(code);
+            saw = true;
+            break;
+          }
+        }
+        // Backtrack to u_j.
+        for (std::size_t t = pins.size(); t > 0; --t) {
+          ASYNCRV_ESST_MOVE(static_cast<Port>(pins[t - 1]));
+        }
+      }
+      if (!saw || codes.size() >= phase / 3) {
+        aborted = true;
+        break;
+      }
+      if (j < trunc_len) {
+        ASYNCRV_ESST_MOVE(trunc_ports[j]);  // trunc edge to u_{j+1}
+      }
+    }
+    if (aborted) continue;
+
+    result.success = true;
+    result.phase = phase;
+    result.codes_in_final_phase = codes.size();
+    co_return;
+  }
+}
+
+#undef ASYNCRV_ESST_MOVE
+
+namespace {
+
+/// Shared driver for the standalone modes: executes the route move by move
+/// against a token position supplied per step.
+EsstResult drive(const Graph& g, const TrajKit& kit, Node agent_start,
+                 const std::function<Pos()>& token_pos_now,
+                 std::uint64_t max_moves) {
+  Walker w(g, agent_start);
+  EsstResult result;
+  EsstIo io;
+  Node cur = agent_start;
+  io.token_here = [&] {
+    const Pos t = token_pos_now();
+    return t.kind == Pos::Kind::Node && t.node == cur;
+  };
+  auto route = esst_route(w, kit, io, result);
+  while (route.next()) {
+    const Move mv = route.value();
+    cur = mv.to;
+    // A full-edge traversal sweeps every point of the edge, endpoints
+    // included: sight the token if it is anywhere on this edge.
+    const Pos t = token_pos_now();
+    const std::uint32_t eid = g.edge_id(mv.from, mv.port_out);
+    if ((t.kind == Pos::Kind::Edge && t.eid == eid) ||
+        (t.kind == Pos::Kind::Node && (t.node == mv.from || t.node == mv.to))) {
+      io.token_swept = true;
+    }
+    if (result.cost >= max_moves) break;  // budget (tests assert success)
+  }
+  return result;
+}
+
+}  // namespace
+
+EsstResult run_esst_static(const Graph& g, const TrajKit& kit, Node agent_start,
+                           const Pos& token_pos) {
+  return drive(g, kit, agent_start, [&token_pos] { return token_pos; },
+               std::uint64_t{1} << 34);
+}
+
+EsstResult run_esst_moving(const Graph& g, const TrajKit& kit, Node agent_start,
+                           std::uint32_t token_eid, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto [u, v] = g.edge_endpoints(token_eid);
+  Pos token = Pos::at_node(u);
+  auto token_now = [&]() -> Pos {
+    // The token drifts over its extended edge: endpoints or interior.
+    const std::uint64_t r = rng.below(4);
+    if (r == 0) {
+      token = Pos::at_node(u);
+    } else if (r == 1) {
+      token = Pos::at_node(v);
+    } else {
+      token = Pos::on_edge(token_eid,
+                           static_cast<std::int64_t>(rng.between(1, kEdgeUnits - 1)));
+    }
+    return token;
+  };
+  return drive(g, kit, agent_start, token_now, std::uint64_t{1} << 34);
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,70 @@
+// Procedure ESST — Exploration with a Semi-Stationary Token (Section 2).
+//
+// A single agent explores an unknown anonymous graph with the help of a
+// unique token that stays on one extended edge (it may move inside that
+// edge, and in particular may simply sit at a node — the case arising in
+// Algorithm SGL, where the token role is played by a ghost agent).
+//
+// The procedure runs phases i = 3, 6, 9, ...:
+//  * walk the trunc R(2i, v); abort the phase if the trunc is not *clean*
+//    (a node of degree > i-1 was visited) or no token was sighted;
+//  * otherwise backtrack to the trunc's start and, for every trunc node
+//    u_j in order, run R(i, u_j), interrupted at the first token sighting;
+//    record the *code* (the port sequence from u_j to the sighting; empty
+//    if the token is at u_j) and backtrack to u_j;
+//  * abort the phase if some R(i, u_j) never sights the token, or the
+//    number of distinct codes recorded in the phase reaches i/3.
+// On successful completion of a phase the agent stops: all edges have been
+// traversed, and (Theorem 2.1) the successful phase index t satisfies
+// n < t <= 9n+3 — so t is a certified upper bound on the graph size, which
+// Algorithm SGL uses as its size estimate (DESIGN.md §2.3).
+//
+// Communication with the environment: the route depends on *when the agent
+// sights the token*, which only the simulator knows. The generator reads
+// an EsstIo that the environment updates after executing each yielded move.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/position.h"
+#include "traj/traj.h"
+
+namespace asyncrv {
+
+struct EsstIo {
+  /// Is the token exactly at the agent's current node right now?
+  std::function<bool()> token_here;
+  /// Set by the environment if the token was swept during the last yielded
+  /// move; cleared by the generator before yielding the next one.
+  bool token_swept = false;
+};
+
+struct EsstResult {
+  bool success = false;
+  std::uint64_t phase = 0;           ///< successful phase index t (n < t <= 9n+3)
+  std::uint64_t cost = 0;            ///< edge traversals so far / total
+  std::uint64_t codes_in_final_phase = 0;
+  std::uint64_t phases_attempted = 0;
+};
+
+/// The ESST route. Yields edge traversals; returns (generator exhausts)
+/// upon successful completion, with `result` filled in. `io` and `result`
+/// must outlive the generator.
+Generator<Move> esst_route(Walker& w, const TrajKit& kit, EsstIo& io,
+                           EsstResult& result);
+
+/// Standalone driver: runs ESST in g from `agent_start` against a token
+/// placed at `token_pos` (a node or an interior edge point) that never
+/// moves. Used by tests and by bench_esst (experiment E5).
+EsstResult run_esst_static(const Graph& g, const TrajKit& kit, Node agent_start,
+                           const Pos& token_pos);
+
+/// Standalone driver with an adversarially moving token: before every agent
+/// move the token jumps to a fresh point of its extended edge {u, v}
+/// (endpoints included), driven by `seed`. Exercises the full
+/// semi-stationary model of Section 2.
+EsstResult run_esst_moving(const Graph& g, const TrajKit& kit, Node agent_start,
+                           std::uint32_t token_eid, std::uint64_t seed);
+
+}  // namespace asyncrv

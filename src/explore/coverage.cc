@@ -1,0 +1,48 @@
+#include "explore/coverage.h"
+
+#include <vector>
+
+namespace asyncrv {
+
+CoverageReport run_coverage(const Graph& g, const Uxs& uxs, std::uint64_t k, Node start) {
+  CoverageReport rep;
+  std::vector<char> edge_seen(g.edge_count(), 0);
+  std::vector<char> node_seen(g.size(), 0);
+  std::size_t edges_left = g.edge_count();
+  std::size_t nodes_left = g.size();
+
+  Node cur = start;
+  int entry = 0;
+  node_seen[cur] = 1;
+  --nodes_left;
+
+  const std::uint64_t len = uxs.length(k);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    const int port = uxs.exit_port(i, entry, g.degree(cur));
+    const std::uint32_t eid = g.edge_id(cur, port);
+    if (!edge_seen[eid]) {
+      edge_seen[eid] = 1;
+      if (--edges_left == 0) rep.first_full_cover = i + 1;
+    }
+    const Graph::Half h = g.step(cur, port);
+    cur = h.to;
+    entry = h.port_at_to;
+    if (!node_seen[cur]) {
+      node_seen[cur] = 1;
+      --nodes_left;
+    }
+  }
+  rep.steps = len;
+  rep.all_edges = (edges_left == 0);
+  rep.all_nodes = (nodes_left == 0);
+  return rep;
+}
+
+bool integral_from_all_starts(const Graph& g, const Uxs& uxs, std::uint64_t k) {
+  for (Node v = 0; v < g.size(); ++v) {
+    if (!run_coverage(g, uxs, k, v).all_edges) return false;
+  }
+  return true;
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,30 @@
+// Integrality verification for exploration sequences.
+//
+// A trajectory R(k, v) is *integral* (paper, Section 2) if the
+// corresponding route covers all edges of the graph. The substituted
+// pseudorandom UXS is only admissible if R(k, v) is integral whenever
+// k >= n; these helpers let tests and benches machine-check that property
+// on every instance they use.
+#pragma once
+
+#include <cstdint>
+
+#include "explore/uxs.h"
+#include "graph/graph.h"
+
+namespace asyncrv {
+
+struct CoverageReport {
+  bool all_edges = false;
+  bool all_nodes = false;
+  std::uint64_t steps = 0;             ///< traversals executed (= P(k))
+  std::uint64_t first_full_cover = 0;  ///< step count when the last edge was first covered (0 if never)
+};
+
+/// Runs R(k, v) on g and reports edge/node coverage.
+CoverageReport run_coverage(const Graph& g, const Uxs& uxs, std::uint64_t k, Node start);
+
+/// True iff R(k, v) is integral on g for every start node v.
+bool integral_from_all_starts(const Graph& g, const Uxs& uxs, std::uint64_t k);
+
+}  // namespace asyncrv

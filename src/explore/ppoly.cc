@@ -1,0 +1,4 @@
+#include "explore/ppoly.h"
+
+// PPoly is header-only; this translation unit exists so the build system
+// has a home for future non-inline additions.

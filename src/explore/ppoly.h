@@ -1,0 +1,50 @@
+// The length polynomial P of the exploration procedure.
+//
+// In the paper, P(n) is the (polynomial) number of edge traversals of
+// Reingold's procedure R(n, v), which traverses all edges of any graph of
+// size at most n from any start node. The exact polynomial is never used —
+// only that it is fixed, non-decreasing, and polynomial. Here P is an
+// explicit configurable polynomial; tests verify the resulting sequence
+// really is integral (covers every edge) on the whole graph catalog at
+// every size a suite uses.
+#pragma once
+
+#include <cstdint>
+
+#include "util/u128.h"
+
+namespace asyncrv {
+
+/// P(k) = max(floor, c3 k^3 + c2 k^2 + c0). Three profiles ship:
+///  - standard: ample margin; used by the rendezvous harnesses.
+///  - compact: shorter sequences for heavier sweeps.
+///  - tiny: quadratic; used by the multi-agent (ESST / SGL) suites whose
+///    per-run costs grow like P(2t)·P(t). Coverage at the sizes those
+///    suites use is still machine-verified by tests.
+struct PPoly {
+  std::uint64_t c3 = 2;
+  std::uint64_t c2 = 0;
+  std::uint64_t c0 = 8;
+  std::uint64_t floor = 8;
+
+  static PPoly standard() { return PPoly{2, 0, 8, 8}; }
+  static PPoly compact() { return PPoly{1, 0, 4, 4}; }
+  static PPoly tiny() { return PPoly{0, 3, 12, 12}; }
+
+  std::uint64_t operator()(std::uint64_t k) const {
+    const std::uint64_t v = c3 * k * k * k + c2 * k * k + c0;
+    return v < floor ? floor : v;
+  }
+
+  /// Saturating evaluation for the worst-case length calculus, where k can
+  /// itself be large.
+  SatU128 sat(SatU128 k) const {
+    return SatU128{c3} * k * k * k + SatU128{c2} * k * k + SatU128{c0};
+  }
+
+  friend bool operator==(const PPoly& a, const PPoly& b) {
+    return a.c3 == b.c3 && a.c2 == b.c2 && a.c0 == b.c0 && a.floor == b.floor;
+  }
+};
+
+}  // namespace asyncrv

@@ -1,0 +1,3 @@
+#include "explore/uxs.h"
+
+// Uxs is header-only; see uxs.h.

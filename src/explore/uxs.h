@@ -1,0 +1,48 @@
+// Universal exploration sequences (UXS) — the substrate behind the
+// trajectory R(k, v) of Section 2.
+//
+// A UXS is a fixed sequence (x_1, x_2, ...) of non-negative integers.
+// An agent that entered its current node of degree d by port p exits by
+// port (p + x_i) mod d; at the start node the entry port is taken to be 0.
+// R(k, v) follows the first P(k) terms from node v. Reingold's theorem
+// guarantees a polynomial-length UXS exploring every graph of size <= k;
+// we substitute a fixed-seed pseudorandom sequence (see DESIGN.md §2.1)
+// and *verify* integrality with explore/coverage.h over the graph catalog.
+#pragma once
+
+#include <cstdint>
+
+#include "explore/ppoly.h"
+#include "util/prng.h"
+
+namespace asyncrv {
+
+/// The exploration sequence provider. Value-semantic and cheap to copy;
+/// term i is derived from (seed, i) without materializing the sequence.
+class Uxs {
+ public:
+  explicit Uxs(PPoly p = PPoly::standard(), std::uint64_t seed = 0x5eed0001)
+      : p_(p), seed_(seed) {}
+
+  const PPoly& p() const { return p_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Number of edge traversals of R(k, v).
+  std::uint64_t length(std::uint64_t k) const { return p_(k); }
+
+  /// Term x_i (i counts from 0) of the sequence.
+  std::uint64_t term(std::uint64_t i) const { return splitmix64(seed_ ^ (i * 0x9e3779b97f4a7c15ULL + 0x1234)); }
+
+  /// Port to exit by, given the entry port and the degree of the node.
+  /// The paper's rule: q = (p + x_i) mod d.
+  int exit_port(std::uint64_t i, int entry_port, int degree) const {
+    return static_cast<int>((static_cast<std::uint64_t>(entry_port) + term(i)) %
+                            static_cast<std::uint64_t>(degree));
+  }
+
+ private:
+  PPoly p_;
+  std::uint64_t seed_;
+};
+
+}  // namespace asyncrv

@@ -1,0 +1,122 @@
+#include "explore/uxs_search.h"
+
+#include <algorithm>
+#include <numeric>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+namespace asyncrv {
+
+namespace {
+
+/// All connected edge subsets of K_n, as edge lists.
+std::vector<std::vector<std::pair<Node, Node>>> connected_edge_sets(Node n) {
+  std::vector<std::pair<Node, Node>> all_edges;
+  for (Node a = 0; a < n; ++a)
+    for (Node b = a + 1; b < n; ++b) all_edges.emplace_back(a, b);
+  const std::size_t m = all_edges.size();
+  std::vector<std::vector<std::pair<Node, Node>>> out;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::vector<std::pair<Node, Node>> edges;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) edges.push_back(all_edges[i]);
+    }
+    if (edges.size() + 1 < n) continue;  // too few edges to connect
+    std::vector<Node> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](Node x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    std::size_t components = n;
+    for (auto [a, b] : edges) {
+      const Node ra = find(a), rb = find(b);
+      if (ra != rb) {
+        parent[ra] = rb;
+        --components;
+      }
+    }
+    if (components == 1) out.push_back(std::move(edges));
+  }
+  return out;
+}
+
+/// Appends the canonical graph for `edges` under EVERY combination of
+/// per-node port permutations (the full group of port numberings).
+void enumerate_port_assignments(const std::vector<std::pair<Node, Node>>& edges,
+                                Node n, std::vector<Graph>* out) {
+  const Graph base = Graph::from_edges(n, edges);
+  std::vector<std::vector<Port>> current(n);
+  for (Node v = 0; v < n; ++v) {
+    current[v].resize(static_cast<std::size_t>(base.degree(v)));
+    std::iota(current[v].begin(), current[v].end(), 0);
+  }
+  // Odometer over per-node permutations (lexicographic at each node).
+  std::function<void(Node)> rec = [&](Node v) {
+    if (v == n) {
+      out->push_back(base.remap_ports(current));
+      return;
+    }
+    std::vector<Port>& p = current[v];
+    std::sort(p.begin(), p.end());
+    do {
+      rec(v + 1);
+    } while (std::next_permutation(p.begin(), p.end()));
+  };
+  rec(0);
+}
+
+}  // namespace
+
+std::vector<Graph> enumerate_port_numbered_graphs(Node n) {
+  ASYNCRV_CHECK_MSG(n >= 2 && n <= 5, "exhaustive enumeration is for tiny n");
+  std::vector<Graph> out;
+  for (const auto& edges : connected_edge_sets(n)) {
+    enumerate_port_assignments(edges, n, &out);
+  }
+  return out;
+}
+
+bool sequence_explores(const Graph& g, const Uxs& uxs, std::uint64_t len) {
+  for (Node start = 0; start < g.size(); ++start) {
+    std::vector<char> seen(g.edge_count(), 0);
+    std::size_t left = g.edge_count();
+    Node cur = start;
+    int entry = 0;
+    for (std::uint64_t i = 0; i < len && left > 0; ++i) {
+      const int port = uxs.exit_port(i, entry, g.degree(cur));
+      const std::uint32_t eid = g.edge_id(cur, port);
+      if (!seen[eid]) {
+        seen[eid] = 1;
+        --left;
+      }
+      const Graph::Half h = g.step(cur, port);
+      cur = h.to;
+      entry = h.port_at_to;
+    }
+    if (left > 0) return false;
+  }
+  return true;
+}
+
+UniversalityCertificate certify_uxs(const Uxs& uxs, Node max_n) {
+  UniversalityCertificate cert;
+  cert.universal = true;
+  for (Node n = 2; n <= max_n; ++n) {
+    for (const Graph& g : enumerate_port_numbered_graphs(n)) {
+      ++cert.graphs_checked;
+      cert.starts_checked += g.size();
+      if (!sequence_explores(g, uxs, uxs.length(max_n))) {
+        cert.universal = false;
+        std::ostringstream os;
+        os << "failure on an instance with " << g.summary();
+        cert.first_failure = os.str();
+        return cert;
+      }
+    }
+  }
+  return cert;
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,46 @@
+// Exhaustively verified exploration sequences for tiny graphs.
+//
+// The substituted pseudorandom UXS (uxs.h) is validated empirically on the
+// graph catalog; for *tiny* sizes we can do better and certify true
+// universality: enumerate EVERY connected simple port-numbered graph with
+// at most `max_n` nodes (all topologies x all port numberings at every
+// node) and check that a candidate increment sequence explores all edges
+// from every start node. This turns the DESIGN.md §2.1 substitution into a
+// proof for n <= max_n (the enumeration is exact, not sampled) and into a
+// strong empirical statement beyond.
+//
+// Complexity makes max_n = 4 the practical certification frontier
+// (6 connected topologies, up to 3!^4 port numberings each); max_n = 5 is
+// reachable with patience but not wired into the default tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "explore/uxs.h"
+#include "graph/graph.h"
+
+namespace asyncrv {
+
+/// Every connected simple port-numbered graph on exactly n nodes:
+/// all edge subsets of K_n that are connected, each in every port
+/// numbering. n <= 4 is instantaneous; n == 5 takes minutes.
+std::vector<Graph> enumerate_port_numbered_graphs(Node n);
+
+/// Does the increment prefix x_0..x_{len-1} of `uxs` explore all edges of
+/// g from every start node?
+bool sequence_explores(const Graph& g, const Uxs& uxs, std::uint64_t len);
+
+struct UniversalityCertificate {
+  bool universal = false;
+  std::uint64_t graphs_checked = 0;
+  std::uint64_t starts_checked = 0;
+  std::string first_failure;  ///< summary of the first failing instance
+};
+
+/// Certifies that the P(k)-step prefix of `uxs` is a true universal
+/// exploration sequence for ALL port-numbered graphs of size <= max_n
+/// (taking k = max_n). Exhaustive, not sampled.
+UniversalityCertificate certify_uxs(const Uxs& uxs, Node max_n);
+
+}  // namespace asyncrv

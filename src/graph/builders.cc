@@ -1,0 +1,177 @@
+#include "graph/builders.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace asyncrv {
+
+namespace {
+using EdgeList = std::vector<std::pair<Node, Node>>;
+}  // namespace
+
+Graph make_ring(Node n) {
+  ASYNCRV_CHECK(n >= 3);
+  EdgeList e;
+  for (Node i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_path(Node n) {
+  ASYNCRV_CHECK(n >= 2);
+  EdgeList e;
+  for (Node i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_complete(Node n) {
+  ASYNCRV_CHECK(n >= 2);
+  EdgeList e;
+  for (Node i = 0; i < n; ++i)
+    for (Node j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_star(Node n) {
+  ASYNCRV_CHECK(n >= 2);
+  EdgeList e;
+  for (Node i = 1; i < n; ++i) e.emplace_back(0, i);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_grid(Node w, Node h) {
+  ASYNCRV_CHECK(w >= 1 && h >= 1 && w * h >= 2);
+  EdgeList e;
+  auto id = [w](Node x, Node y) { return y * w + x; };
+  for (Node y = 0; y < h; ++y)
+    for (Node x = 0; x < w; ++x) {
+      if (x + 1 < w) e.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < h) e.emplace_back(id(x, y), id(x, y + 1));
+    }
+  return Graph::from_edges(w * h, e);
+}
+
+Graph make_torus(Node w, Node h) {
+  ASYNCRV_CHECK(w >= 3 && h >= 3);
+  EdgeList e;
+  auto id = [w](Node x, Node y) { return y * w + x; };
+  for (Node y = 0; y < h; ++y)
+    for (Node x = 0; x < w; ++x) {
+      e.emplace_back(id(x, y), id((x + 1) % w, y));
+      e.emplace_back(id(x, y), id(x, (y + 1) % h));
+    }
+  return Graph::from_edges(w * h, e);
+}
+
+Graph make_hypercube(int d) {
+  ASYNCRV_CHECK(d >= 1 && d <= 16);
+  const Node n = Node{1} << d;
+  EdgeList e;
+  for (Node v = 0; v < n; ++v)
+    for (int b = 0; b < d; ++b) {
+      const Node u = v ^ (Node{1} << b);
+      if (v < u) e.emplace_back(v, u);
+    }
+  return Graph::from_edges(n, e);
+}
+
+Graph make_random_tree(Node n, std::uint64_t seed) {
+  ASYNCRV_CHECK(n >= 2);
+  Rng rng(seed);
+  EdgeList e;
+  for (Node v = 1; v < n; ++v) {
+    const Node parent = static_cast<Node>(rng.below(v));
+    e.emplace_back(parent, v);
+  }
+  return Graph::from_edges(n, e);
+}
+
+Graph make_random_connected(Node n, Node extra, std::uint64_t seed) {
+  ASYNCRV_CHECK(n >= 2);
+  Rng rng(seed ^ 0x5eedULL);
+  EdgeList e;
+  std::vector<std::vector<char>> used(n, std::vector<char>(n, 0));
+  for (Node v = 1; v < n; ++v) {
+    const Node parent = static_cast<Node>(rng.below(v));
+    e.emplace_back(parent, v);
+    used[parent][v] = used[v][parent] = 1;
+  }
+  Node added = 0;
+  // Bounded number of attempts so dense requests terminate gracefully.
+  for (std::uint64_t attempts = 0; added < extra && attempts < 64ULL * extra + 256; ++attempts) {
+    const Node a = static_cast<Node>(rng.below(n));
+    const Node b = static_cast<Node>(rng.below(n));
+    if (a == b || used[a][b]) continue;
+    used[a][b] = used[b][a] = 1;
+    e.emplace_back(a, b);
+    ++added;
+  }
+  return Graph::from_edges(n, e);
+}
+
+Graph make_lollipop(Node n, Node k) {
+  ASYNCRV_CHECK(n >= 4 && k >= 2 && k < n);
+  EdgeList e;
+  for (Node i = 0; i < k; ++i)
+    for (Node j = i + 1; j < k; ++j) e.emplace_back(i, j);
+  for (Node i = k - 1; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_barbell(Node k, Node bridge) {
+  ASYNCRV_CHECK(k >= 2 && bridge >= 1);
+  const Node n = 2 * k + bridge;
+  EdgeList e;
+  for (Node i = 0; i < k; ++i)
+    for (Node j = i + 1; j < k; ++j) e.emplace_back(i, j);
+  const Node right = k + bridge;
+  for (Node i = 0; i < k; ++i)
+    for (Node j = i + 1; j < k; ++j) e.emplace_back(right + i, right + j);
+  // Path from node k-1 through the bridge nodes to node `right`.
+  Node prev = k - 1;
+  for (Node b = 0; b < bridge; ++b) {
+    e.emplace_back(prev, k + b);
+    prev = k + b;
+  }
+  e.emplace_back(prev, right);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_complete_bipartite(Node a, Node b) {
+  ASYNCRV_CHECK(a >= 1 && b >= 1 && a + b >= 2);
+  EdgeList e;
+  for (Node i = 0; i < a; ++i)
+    for (Node j = 0; j < b; ++j) e.emplace_back(i, a + j);
+  return Graph::from_edges(a + b, e);
+}
+
+Graph make_binary_tree(int depth) {
+  ASYNCRV_CHECK(depth >= 1 && depth <= 20);
+  const Node n = (Node{1} << (depth + 1)) - 1;
+  EdgeList e;
+  for (Node v = 1; v < n; ++v) e.emplace_back((v - 1) / 2, v);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_petersen() {
+  EdgeList e;
+  for (Node i = 0; i < 5; ++i) {
+    e.emplace_back(i, (i + 1) % 5);        // outer pentagon
+    e.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    e.emplace_back(i, 5 + i);              // spokes
+  }
+  return Graph::from_edges(10, e);
+}
+
+Graph make_ring_with_chord(Node n) {
+  ASYNCRV_CHECK(n >= 5);
+  EdgeList e;
+  for (Node i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  e.emplace_back(0, n / 2);
+  return Graph::from_edges(n, e);
+}
+
+Graph make_edge() { return Graph::from_edges(2, {{0, 1}}); }
+
+}  // namespace asyncrv

@@ -1,0 +1,65 @@
+// Graph family builders used throughout the tests and the experiment
+// harnesses. Every builder returns a connected, simple, port-numbered
+// graph; combined with Graph::shuffle_ports they form the evaluation
+// substrate of the reproduction (the paper's algorithms must work on
+// arbitrary unknown networks).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace asyncrv {
+
+/// Cycle on n >= 3 nodes.
+Graph make_ring(Node n);
+
+/// Simple path on n >= 2 nodes.
+Graph make_path(Node n);
+
+/// Complete graph on n >= 2 nodes.
+Graph make_complete(Node n);
+
+/// Star with one hub and n-1 >= 1 leaves.
+Graph make_star(Node n);
+
+/// w x h grid (4-neighborhood), w, h >= 1, w*h >= 2.
+Graph make_grid(Node w, Node h);
+
+/// w x h torus with wraparound; w, h >= 3.
+Graph make_torus(Node w, Node h);
+
+/// Hypercube of dimension d >= 1 (2^d nodes).
+Graph make_hypercube(int d);
+
+/// Uniformly random labeled tree on n >= 2 nodes (Prüfer-free random
+/// attachment; deterministic for a given seed).
+Graph make_random_tree(Node n, std::uint64_t seed);
+
+/// Random connected graph: random tree plus `extra` random chords.
+Graph make_random_connected(Node n, Node extra, std::uint64_t seed);
+
+/// Lollipop: clique of size k joined to a path of length n-k (classic
+/// hard-to-cover instance). n >= 4, 2 <= k < n.
+Graph make_lollipop(Node n, Node k);
+
+/// Barbell: two cliques of size k joined by a path. n = 2k + bridge.
+Graph make_barbell(Node k, Node bridge);
+
+/// Complete bipartite K_{a,b}, a,b >= 1, a+b >= 2.
+Graph make_complete_bipartite(Node a, Node b);
+
+/// Balanced binary tree of given depth (depth >= 1).
+Graph make_binary_tree(int depth);
+
+/// The Petersen graph (n=10, 3-regular).
+Graph make_petersen();
+
+/// Cycle of length n with one chord between node 0 and node n/2.
+Graph make_ring_with_chord(Node n);
+
+/// Two-node graph (single edge) — the smallest instance, used heavily in
+/// the paper's discussion of the adversary.
+Graph make_edge();
+
+}  // namespace asyncrv

@@ -1,0 +1,64 @@
+#include "graph/catalog.h"
+
+#include "graph/builders.h"
+
+namespace asyncrv {
+
+std::vector<NamedGraph> small_catalog() {
+  std::vector<NamedGraph> out;
+  out.push_back({"edge/n2", make_edge()});
+  out.push_back({"path/n3", make_path(3)});
+  out.push_back({"path/n5", make_path(5)});
+  out.push_back({"ring/n3", make_ring(3)});
+  out.push_back({"ring/n4", make_ring(4)});
+  out.push_back({"ring/n6", make_ring(6)});
+  out.push_back({"star/n5", make_star(5)});
+  out.push_back({"complete/n4", make_complete(4)});
+  out.push_back({"complete/n5", make_complete(5)});
+  out.push_back({"grid/2x3", make_grid(2, 3)});
+  out.push_back({"tree/n6", make_random_tree(6, 11)});
+  out.push_back({"tree/n8", make_random_tree(8, 12)});
+  out.push_back({"lollipop/n6k3", make_lollipop(6, 3)});
+  out.push_back({"bipartite/2x3", make_complete_bipartite(2, 3)});
+  out.push_back({"ringchord/n6", make_ring_with_chord(6)});
+  out.push_back({"random/n7", make_random_connected(7, 3, 21)});
+  out.push_back({"petersen/n10", make_petersen()});
+  return out;
+}
+
+std::vector<NamedGraph> medium_catalog() {
+  std::vector<NamedGraph> out;
+  out.push_back({"ring/n12", make_ring(12)});
+  out.push_back({"ring/n24", make_ring(24)});
+  out.push_back({"path/n16", make_path(16)});
+  out.push_back({"grid/4x4", make_grid(4, 4)});
+  out.push_back({"grid/3x6", make_grid(3, 6)});
+  out.push_back({"torus/3x4", make_torus(3, 4)});
+  out.push_back({"torus/4x4", make_torus(4, 4)});
+  out.push_back({"hypercube/d3", make_hypercube(3)});
+  out.push_back({"hypercube/d4", make_hypercube(4)});
+  out.push_back({"complete/n10", make_complete(10)});
+  out.push_back({"complete/n14", make_complete(14)});
+  out.push_back({"star/n16", make_star(16)});
+  out.push_back({"tree/n15", make_random_tree(15, 31)});
+  out.push_back({"tree/n24", make_random_tree(24, 32)});
+  out.push_back({"bintree/d3", make_binary_tree(3)});
+  out.push_back({"lollipop/n14k7", make_lollipop(14, 7)});
+  out.push_back({"barbell/k5b2", make_barbell(5, 2)});
+  out.push_back({"bipartite/4x5", make_complete_bipartite(4, 5)});
+  out.push_back({"random/n18", make_random_connected(18, 9, 77)});
+  out.push_back({"random/n30", make_random_connected(30, 15, 78)});
+  out.push_back({"ringchord/n20", make_ring_with_chord(20)});
+  out.push_back({"petersen/n10", make_petersen()});
+  return out;
+}
+
+std::vector<NamedGraph> shuffled_small_catalog(std::uint64_t seed) {
+  std::vector<NamedGraph> out;
+  for (auto& [name, g] : small_catalog()) {
+    out.push_back({name + "/shuffled", g.shuffle_ports(seed)});
+  }
+  return out;
+}
+
+}  // namespace asyncrv

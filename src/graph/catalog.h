@@ -1,0 +1,29 @@
+// Named catalogs of graph instances. Tests and benches iterate these
+// batteries so that every claim is exercised on rings, trees, cliques,
+// grids, expanders-ish instances and adversarially port-shuffled copies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace asyncrv {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// Small battery: sizes ~2..10. Used by the heavier end-to-end suites
+/// (rendezvous, ESST, SGL) where each run simulates many edge traversals.
+std::vector<NamedGraph> small_catalog();
+
+/// Medium battery: sizes ~10..36. Used for exploration-coverage and
+/// trajectory-structure checks.
+std::vector<NamedGraph> medium_catalog();
+
+/// Port-shuffled variants of the small battery (one shuffle per seed).
+std::vector<NamedGraph> shuffled_small_catalog(std::uint64_t seed);
+
+}  // namespace asyncrv

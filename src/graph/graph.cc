@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/prng.h"
+
+namespace asyncrv {
+
+Graph Graph::from_edges(Node n, const std::vector<std::pair<Node, Node>>& edges) {
+  ASYNCRV_CHECK_MSG(n >= 1, "graph needs at least one node");
+  Graph g;
+  g.adj_.assign(n, {});
+  g.edge_ids_.assign(n, {});
+
+  std::set<std::pair<Node, Node>> seen;
+  for (auto [a, b] : edges) {
+    ASYNCRV_CHECK_MSG(a < n && b < n, "edge endpoint out of range");
+    ASYNCRV_CHECK_MSG(a != b, "self-loops are not allowed");
+    auto key = std::minmax(a, b);
+    ASYNCRV_CHECK_MSG(seen.insert(key).second, "duplicate edge");
+  }
+
+  for (auto [a, b] : edges) {
+    const auto pa = static_cast<Port>(g.adj_[a].size());
+    const auto pb = static_cast<Port>(g.adj_[b].size());
+    g.adj_[a].push_back(Half{b, pb});
+    g.adj_[b].push_back(Half{a, pa});
+    const auto eid = static_cast<std::uint32_t>(g.endpoints_.size());
+    g.edge_ids_[a].push_back(eid);
+    g.edge_ids_[b].push_back(eid);
+    g.endpoints_.push_back(std::minmax(a, b));
+  }
+  g.edge_count_ = g.endpoints_.size();
+
+  // Connectivity check (BFS).
+  std::vector<char> vis(n, 0);
+  std::vector<Node> stack{0};
+  vis[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    Node v = stack.back();
+    stack.pop_back();
+    for (const Half& h : g.adj_[v]) {
+      if (!vis[h.to]) {
+        vis[h.to] = 1;
+        ++reached;
+        stack.push_back(h.to);
+      }
+    }
+  }
+  ASYNCRV_CHECK_MSG(reached == n, "graph must be connected");
+  return g;
+}
+
+Graph Graph::shuffle_ports(std::uint64_t seed) const {
+  Rng rng(seed);
+  const Node n = size();
+  // perm[v][old_port] = new_port at node v.
+  std::vector<std::vector<Port>> perm(n);
+  for (Node v = 0; v < n; ++v) {
+    const int d = degree(v);
+    perm[v].resize(static_cast<std::size_t>(d));
+    std::iota(perm[v].begin(), perm[v].end(), 0);
+    for (int i = d - 1; i > 0; --i) {
+      const auto j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(perm[v][static_cast<std::size_t>(i)], perm[v][static_cast<std::size_t>(j)]);
+    }
+  }
+  return remap_ports(perm);
+}
+
+Graph Graph::remap_ports(const std::vector<std::vector<Port>>& perm) const {
+  ASYNCRV_CHECK(perm.size() == size());
+  Graph g = *this;
+  const Node n = size();
+  for (Node v = 0; v < n; ++v) {
+    ASYNCRV_CHECK_MSG(
+        perm[v].size() == static_cast<std::size_t>(degree(v)),
+        "permutation arity must match the node degree");
+  }
+  for (Node v = 0; v < n; ++v) {
+    const int d = degree(v);
+    std::vector<Half> new_adj(static_cast<std::size_t>(d));
+    std::vector<std::uint32_t> new_eids(static_cast<std::size_t>(d));
+    for (int p = 0; p < d; ++p) {
+      Half h = adj_[v][static_cast<std::size_t>(p)];
+      h.port_at_to = perm[h.to][static_cast<std::size_t>(h.port_at_to)];
+      new_adj[static_cast<std::size_t>(perm[v][static_cast<std::size_t>(p)])] = h;
+      new_eids[static_cast<std::size_t>(perm[v][static_cast<std::size_t>(p)])] =
+          edge_ids_[v][static_cast<std::size_t>(p)];
+    }
+    g.adj_[v] = std::move(new_adj);
+    g.edge_ids_[v] = std::move(new_eids);
+  }
+  return g;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "n=" << size() << " m=" << edge_count();
+  return os.str();
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,93 @@
+// The network model of the paper: a finite simple undirected connected
+// graph with unlabeled nodes and, at every node v, distinct local port
+// numbers 0..deg(v)-1 on the incident edges. succ(v, i) is the neighbor of
+// v reached through port i; the edge also has an (unrelated) port number at
+// the other endpoint.
+//
+// Agents never see node identities; the integer node ids used here exist
+// only so the simulator can track positions. All algorithm code interacts
+// with the graph exclusively through degrees and ports (via traj::Walker).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace asyncrv {
+
+using Node = std::uint32_t;
+using Port = std::int32_t;
+
+/// Immutable port-numbered graph.
+class Graph {
+ public:
+  /// One directed half of an undirected edge: the neighbor reached and the
+  /// port number of this edge at that neighbor (needed to backtrack).
+  struct Half {
+    Node to = 0;
+    Port port_at_to = -1;
+  };
+
+  Graph() = default;
+
+  /// Builds a graph from an undirected edge list over nodes 0..n-1.
+  /// Ports are assigned at each endpoint in the order edges appear.
+  /// Rejects self-loops, duplicate edges, out-of-range endpoints and
+  /// disconnected graphs (throws std::logic_error).
+  static Graph from_edges(Node n, const std::vector<std::pair<Node, Node>>& edges);
+
+  Node size() const { return static_cast<Node>(adj_.size()); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  int degree(Node v) const {
+    ASYNCRV_CHECK(v < size());
+    return static_cast<int>(adj_[v].size());
+  }
+
+  /// succ(v, i) together with the entry port on the far side.
+  Half step(Node v, Port p) const {
+    ASYNCRV_CHECK(v < size());
+    ASYNCRV_CHECK_MSG(p >= 0 && p < degree(v), "port out of range");
+    return adj_[v][static_cast<std::size_t>(p)];
+  }
+
+  /// Canonical undirected edge id for {v, step(v,p).to}; ids are dense in
+  /// [0, edge_count()). Used by the simulator for positions and by the
+  /// coverage verifier.
+  std::uint32_t edge_id(Node v, Port p) const {
+    ASYNCRV_CHECK(v < size());
+    ASYNCRV_CHECK(p >= 0 && p < degree(v));
+    return edge_ids_[v][static_cast<std::size_t>(p)];
+  }
+
+  /// Endpoints of a canonical edge id, with u < w.
+  std::pair<Node, Node> edge_endpoints(std::uint32_t eid) const {
+    ASYNCRV_CHECK(eid < edge_count_);
+    return endpoints_[eid];
+  }
+
+  /// Returns a copy of this graph with the port numbers at every node
+  /// permuted by a seed-derived permutation. The underlying topology is
+  /// unchanged; agents (which are anonymous) face a different instance.
+  Graph shuffle_ports(std::uint64_t seed) const;
+
+  /// Returns a copy with explicit per-node port permutations applied:
+  /// perm[v][old_port] = new_port. perm[v] must be a permutation of
+  /// 0..deg(v)-1 for every node. Used by the exhaustive port-numbering
+  /// enumeration (explore/uxs_search.h).
+  Graph remap_ports(const std::vector<std::vector<Port>>& perm) const;
+
+  /// Human-readable summary ("n=8 m=12").
+  std::string summary() const;
+
+ private:
+  std::vector<std::vector<Half>> adj_;
+  std::vector<std::vector<std::uint32_t>> edge_ids_;
+  std::vector<std::pair<Node, Node>> endpoints_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace asyncrv

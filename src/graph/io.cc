@@ -1,0 +1,163 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace asyncrv {
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  os << "asyncrv-graph v1\n";
+  os << "nodes " << g.size() << "\n";
+  os << "edges " << g.edge_count() << "\n";
+  for (std::uint32_t eid = 0; eid < g.edge_count(); ++eid) {
+    const auto [u, v] = g.edge_endpoints(eid);
+    // Recover the ports of this edge at both endpoints.
+    Port pu = -1, pv = -1;
+    for (Port p = 0; p < g.degree(u); ++p) {
+      if (g.edge_id(u, p) == eid) {
+        pu = p;
+        pv = g.step(u, p).port_at_to;
+        break;
+      }
+    }
+    os << "edge " << u << " " << pu << " " << v << " " << pv << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  std::ostringstream os;
+  os << "graph parse error at line " << line << ": " << what;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace
+
+Graph from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "asyncrv-graph v1") {
+    parse_error(lineno, "missing 'asyncrv-graph v1' header");
+  }
+  std::uint64_t n = 0, m = 0;
+  {
+    if (!next_line()) parse_error(lineno, "missing 'nodes' line");
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> n) || kw != "nodes") parse_error(lineno, "expected 'nodes <n>'");
+    if (n == 0 || n > (1u << 24)) parse_error(lineno, "node count out of range");
+  }
+  {
+    if (!next_line()) parse_error(lineno, "missing 'edges' line");
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> m) || kw != "edges") parse_error(lineno, "expected 'edges <m>'");
+  }
+
+  struct EdgeRec {
+    Node u, v;
+    Port pu, pv;
+  };
+  std::vector<EdgeRec> recs;
+  // port map for validation: (node, port) -> used
+  std::map<std::pair<Node, Port>, bool> used;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    if (!next_line()) parse_error(lineno, "fewer edge lines than declared");
+    std::istringstream ls(line);
+    std::string kw;
+    long long u, pu, v, pv;
+    if (!(ls >> kw >> u >> pu >> v >> pv) || kw != "edge") {
+      parse_error(lineno, "expected 'edge <u> <pu> <v> <pv>'");
+    }
+    if (u < 0 || v < 0 || static_cast<std::uint64_t>(u) >= n ||
+        static_cast<std::uint64_t>(v) >= n) {
+      parse_error(lineno, "endpoint out of range");
+    }
+    if (u == v) parse_error(lineno, "self-loop");
+    if (pu < 0 || pv < 0) parse_error(lineno, "negative port");
+    const auto ku = std::make_pair(static_cast<Node>(u), static_cast<Port>(pu));
+    const auto kv = std::make_pair(static_cast<Node>(v), static_cast<Port>(pv));
+    if (used.count(ku)) parse_error(lineno, "port reused at a node");
+    if (used.count(kv)) parse_error(lineno, "port reused at a node");
+    used[ku] = used[kv] = true;
+    recs.push_back({static_cast<Node>(u), static_cast<Node>(v),
+                    static_cast<Port>(pu), static_cast<Port>(pv)});
+  }
+  if (next_line()) parse_error(lineno, "trailing content after declared edges");
+
+  // Ports at every node must be exactly 0..deg-1.
+  std::vector<std::vector<Port>> ports(n);
+  for (const EdgeRec& r : recs) {
+    ports[r.u].push_back(r.pu);
+    ports[r.v].push_back(r.pv);
+  }
+  for (Node v = 0; v < n; ++v) {
+    std::vector<Port> p = ports[v];
+    std::sort(p.begin(), p.end());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] != static_cast<Port>(i)) {
+        parse_error(lineno, "ports at node " + std::to_string(v) +
+                                " are not a contiguous 0..deg-1 range");
+      }
+    }
+  }
+
+  // Build through from_edges (canonical first-appearance ports), then remap
+  // to the declared ports. from_edges also validates connectivity and
+  // duplicate edges.
+  std::vector<std::pair<Node, Node>> edges;
+  edges.reserve(recs.size());
+  for (const EdgeRec& r : recs) edges.emplace_back(r.u, r.v);
+  Graph canonical = Graph::from_edges(static_cast<Node>(n), edges);
+
+  // Canonical port of the i-th declared edge at u is its appearance index;
+  // recover it and construct perm[v][canonical_port] = declared_port.
+  std::vector<std::vector<Port>> perm(n);
+  for (Node v = 0; v < n; ++v) {
+    perm[v].assign(static_cast<std::size_t>(canonical.degree(v)), -1);
+  }
+  std::vector<std::size_t> appearance(n, 0);
+  for (const EdgeRec& r : recs) {
+    perm[r.u][appearance[r.u]++] = r.pu;
+    perm[r.v][appearance[r.v]++] = r.pv;
+  }
+  return canonical.remap_ports(perm);
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  os << "  node [shape=circle];\n";
+  for (std::uint32_t eid = 0; eid < g.edge_count(); ++eid) {
+    const auto [u, v] = g.edge_endpoints(eid);
+    Port pu = -1, pv = -1;
+    for (Port p = 0; p < g.degree(u); ++p) {
+      if (g.edge_id(u, p) == eid) {
+        pu = p;
+        pv = g.step(u, p).port_at_to;
+        break;
+      }
+    }
+    os << "  " << u << " -- " << v << " [taillabel=\"" << pu
+       << "\", headlabel=\"" << pv << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace asyncrv

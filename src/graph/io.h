@@ -1,0 +1,34 @@
+// Serialization of port-numbered graphs.
+//
+// Two formats:
+//  * a plain text adjacency format that round-trips the port numbering
+//    exactly (the property agents actually depend on), and
+//  * Graphviz DOT export with port labels, for visualizing the instances
+//    behind an experiment.
+//
+// Text format:
+//   asyncrv-graph v1
+//   nodes <n>
+//   edges <m>
+//   edge <u> <port_at_u> <v> <port_at_v>     (one line per edge)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace asyncrv {
+
+/// Serializes the graph (including its exact port numbering).
+std::string to_text(const Graph& g);
+
+/// Parses the text format; throws std::logic_error with a line-numbered
+/// message on malformed input (bad header, port clashes, disconnected
+/// graphs, dangling half-edges...).
+Graph from_text(const std::string& text);
+
+/// Graphviz DOT with ports rendered as head/tail labels.
+std::string to_dot(const Graph& g, const std::string& name = "asyncrv");
+
+}  // namespace asyncrv

@@ -1,0 +1,38 @@
+// The naive exponential-cost rendezvous algorithm (Section 3, opening
+// observation), standing in for the exponential-cost state of the art [17]
+// that the paper improves on.
+//
+// With the size n of the graph known, an agent with label L follows
+//   ( R(n, v) R̄(n, v) )^{(2P(n)+1)^L}
+// and stops. The repetition count is exponential in L (doubly exponential
+// in |L|): the larger agent performs more integral X(n) trajectories than
+// the smaller agent has edge traversals in total, which forces a meeting —
+// at exponential cost. bench_rv_vs_baseline regenerates the comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "traj/traj.h"
+
+namespace asyncrv {
+
+/// Number of X(n) repetitions of the baseline: (2 P(n) + 1)^L (saturating).
+SatU128 baseline_reps(const LengthCalculus& calc, std::uint64_t known_n,
+                      std::uint64_t label);
+
+/// Worst-case route length of the baseline: reps * |X(n)| (saturating).
+SatU128 baseline_route_length(const LengthCalculus& calc, std::uint64_t known_n,
+                              std::uint64_t label);
+
+/// log10 of the worst-case route length, computed in log space — exact far
+/// beyond the 128-bit saturation point (used for the E7 comparison table):
+/// L * log10(2P(n)+1) + log10(2P(n)).
+double baseline_route_length_log10(const LengthCalculus& calc,
+                                   std::uint64_t known_n, std::uint64_t label);
+
+/// The finite baseline route. Unlike rv_route this generator terminates
+/// (the agent stops and waits to be found).
+Generator<Move> baseline_route(Walker& w, const TrajKit& kit,
+                               std::uint64_t known_n, std::uint64_t label);
+
+}  // namespace asyncrv

@@ -1,0 +1,46 @@
+#include "rv/label.h"
+
+#include "util/check.h"
+
+namespace asyncrv {
+
+std::vector<int> binary_bits(std::uint64_t label) {
+  ASYNCRV_CHECK_MSG(label >= 1, "labels are strictly positive integers");
+  std::vector<int> bits;
+  for (int b = 63; b >= 0; --b) {
+    if ((label >> b) & 1ULL) {
+      for (int i = b; i >= 0; --i) bits.push_back(static_cast<int>((label >> i) & 1ULL));
+      break;
+    }
+  }
+  return bits;
+}
+
+std::vector<int> modified_label(std::uint64_t label) {
+  std::vector<int> out;
+  for (int c : binary_bits(label)) {
+    out.push_back(c);
+    out.push_back(c);
+  }
+  out.push_back(0);
+  out.push_back(1);
+  return out;
+}
+
+int label_length(std::uint64_t label) {
+  return static_cast<int>(binary_bits(label).size());
+}
+
+std::size_t first_diff_position(std::uint64_t a, std::uint64_t b) {
+  ASYNCRV_CHECK(a != b);
+  const auto ma = modified_label(a);
+  const auto mb = modified_label(b);
+  const std::size_t lim = ma.size() < mb.size() ? ma.size() : mb.size();
+  for (std::size_t i = 0; i < lim; ++i) {
+    if (ma[i] != mb[i]) return i + 1;
+  }
+  ASYNCRV_CHECK_MSG(false, "modified labels are prefix-free; unreachable");
+  return 0;
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,30 @@
+// Label transformation of Section 3.1.
+//
+// For a label L with binary representation x = (c1 ... cr), the modified
+// label is M(x) = (c1 c1 c2 c2 ... cr cr 0 1). The doubling plus the "01"
+// suffix makes the code prefix-free across distinct labels: for any x != y,
+// M(x) is never a prefix of M(y). RV-asynch-poly processes the bits of
+// M(x); rendezvous is forced around the first position where the two
+// agents' modified labels differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asyncrv {
+
+/// Binary representation of a positive label, most significant bit first.
+std::vector<int> binary_bits(std::uint64_t label);
+
+/// The modified label M(x) as a bit vector. label must be >= 1.
+std::vector<int> modified_label(std::uint64_t label);
+
+/// Length of the binary representation (|L| in the paper).
+int label_length(std::uint64_t label);
+
+/// Index (1-based) of the first position where the modified labels of a and
+/// b differ; guaranteed to exist for a != b and to be at most
+/// min(|M(a)|, |M(b)|).
+std::size_t first_diff_position(std::uint64_t a, std::uint64_t b);
+
+}  // namespace asyncrv

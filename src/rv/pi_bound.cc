@@ -1,0 +1,9 @@
+#include "rv/pi_bound.h"
+
+namespace asyncrv {
+
+double pi_bound_log10(const LengthCalculus& calc, std::uint64_t n, std::uint64_t m) {
+  return pi_bound(calc, n, m).log10();
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,34 @@
+// Executable cost bounds.
+//
+// The faithful worst-case bound Π(n, m) of Theorem 3.1 (see
+// traj/lengths.h) has galactic values — Π(2, 1) already exceeds 10^20 —
+// so it cannot serve as a step counter in a simulation. Algorithm SGL,
+// however, needs a concrete "run RV for Π(E(n), |L|) edge traversals"
+// stopping rule. CalibratedPi is the executable substitute: a small
+// polynomial with the same monotone shape, calibrated so that every
+// two-agent meeting observed across the repository's test battery occurs
+// within a comfortable fraction of the bound
+// (tests/rv_integration_test.cc enforces the margin). See DESIGN.md §2.2.
+#pragma once
+
+#include <cstdint>
+
+#include "traj/lengths.h"
+
+namespace asyncrv {
+
+struct CalibratedPi {
+  // pi_hat(n, m) = c4 * (n + 2m + 2)^4 + c0.
+  std::uint64_t c4 = 64;
+  std::uint64_t c0 = 1u << 16;
+
+  std::uint64_t operator()(std::uint64_t n, std::uint64_t m) const {
+    const std::uint64_t x = n + 2 * m + 2;
+    return c4 * x * x * x * x + c0;
+  }
+};
+
+/// Log10 of the faithful bound, for reporting tables (bench_pi_bound).
+double pi_bound_log10(const LengthCalculus& calc, std::uint64_t n, std::uint64_t m);
+
+}  // namespace asyncrv

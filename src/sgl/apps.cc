@@ -1,0 +1,44 @@
+#include "sgl/apps.h"
+
+#include <algorithm>
+
+namespace asyncrv {
+
+SglApplications derive_applications(const SglRunResult& result,
+                                    const std::vector<SglAgentSpec>& specs) {
+  ASYNCRV_CHECK_MSG(result.completed, "SGL run must have completed");
+  ASYNCRV_CHECK(result.outputs.size() == specs.size());
+  SglApplications apps;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::uint64_t my_label = specs[i].label;
+    const Bag& out = result.outputs[i];
+    ASYNCRV_CHECK_MSG(!out.empty(), "completed run implies non-empty outputs");
+    apps.team_size[my_label] = out.size();
+    apps.leader[my_label] = out.begin()->first;  // smallest known label
+    // Perfect renaming: rank of the own label among all output labels.
+    std::uint64_t rank = 0;
+    for (const auto& [lab, val] : out) {
+      ++rank;
+      if (lab == my_label) break;
+    }
+    apps.new_name[my_label] = rank;
+    apps.gossip[my_label] = out;
+  }
+  return apps;
+}
+
+SglSolveOutcome solve_all_problems(const Graph& g, const TrajKit& kit,
+                                   SglConfig cfg,
+                                   const std::vector<SglAgentSpec>& specs,
+                                   std::uint64_t budget_traversals,
+                                   std::uint64_t adversary_seed) {
+  SglRun run(g, kit, cfg, specs);
+  SglSolveOutcome outcome;
+  outcome.run = run.run(budget_traversals, adversary_seed);
+  if (outcome.run.completed) {
+    outcome.apps = derive_applications(outcome.run, specs);
+  }
+  return outcome;
+}
+
+}  // namespace asyncrv

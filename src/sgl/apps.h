@@ -1,0 +1,45 @@
+// The four applications of Section 4, derived from a completed SGL run.
+//
+// Once every agent has output the complete bag (labels + initial values of
+// the whole team), each problem is solved locally:
+//  * team size     — the number of labels in the output;
+//  * leader        — the smallest label;
+//  * perfect renaming — the rank (1..k) of the agent's own label;
+//  * gossiping     — the label -> value map itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sgl/sgl.h"
+
+namespace asyncrv {
+
+struct SglApplications {
+  /// Keyed by the agent's original label (spec order preserved in vectors).
+  std::map<std::uint64_t, std::uint64_t> team_size;
+  std::map<std::uint64_t, std::uint64_t> leader;
+  std::map<std::uint64_t, std::uint64_t> new_name;  ///< perfect renaming, 1..k
+  std::map<std::uint64_t, Bag> gossip;
+};
+
+/// Derives all four application outputs from a completed run. CHECK-fails
+/// if the run did not complete (every agent must have output its bag).
+SglApplications derive_applications(const SglRunResult& result,
+                                    const std::vector<SglAgentSpec>& specs);
+
+/// Convenience end-to-end helper: builds the run, executes it and derives
+/// the applications.
+struct SglSolveOutcome {
+  SglRunResult run;
+  SglApplications apps;  ///< valid only if run.completed
+};
+SglSolveOutcome solve_all_problems(const Graph& g, const TrajKit& kit,
+                                   SglConfig cfg,
+                                   const std::vector<SglAgentSpec>& specs,
+                                   std::uint64_t budget_traversals,
+                                   std::uint64_t adversary_seed);
+
+}  // namespace asyncrv

@@ -1,0 +1,226 @@
+#include "sim/adversary.h"
+
+#include "sim/two_agent.h"
+
+namespace asyncrv {
+
+namespace {
+
+/// If the preferred agent cannot move (route over), switch to the other.
+int movable(const TwoAgentSim& sim, int preferred) {
+  if (!sim.route_ended(preferred)) return preferred;
+  return 1 - preferred;
+}
+
+class FairAdversary final : public Adversary {
+ public:
+  AdvStep next(const TwoAgentSim& sim) override {
+    turn_ = 1 - turn_;
+    return {movable(sim, turn_), kEdgeUnits};
+  }
+  std::string name() const override { return "fair"; }
+
+ private:
+  int turn_ = 1;
+};
+
+class RandomAdversary final : public Adversary {
+ public:
+  RandomAdversary(std::uint64_t seed, int bias_permille)
+      : rng_(seed), bias_(bias_permille) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    const int agent = rng_.chance(static_cast<std::uint64_t>(bias_), 1000) ? 0 : 1;
+    const auto delta = static_cast<std::int64_t>(rng_.between(1, kEdgeUnits));
+    return {movable(sim, agent), delta};
+  }
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+  int bias_;
+};
+
+class StallAdversary final : public Adversary {
+ public:
+  StallAdversary(int stalled, std::uint64_t stall_traversals)
+      : stalled_(stalled), threshold_(stall_traversals) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    const int runner = 1 - stalled_;
+    if (sim.completed_traversals(runner) < threshold_ && !sim.route_ended(runner)) {
+      return {runner, kEdgeUnits};
+    }
+    turn_ = 1 - turn_;
+    return {movable(sim, turn_), kEdgeUnits};
+  }
+  std::string name() const override { return "stall"; }
+
+ private:
+  int stalled_;
+  std::uint64_t threshold_;
+  int turn_ = 1;
+};
+
+class BurstAdversary final : public Adversary {
+ public:
+  BurstAdversary(std::uint64_t seed, int max_burst) : rng_(seed), max_burst_(max_burst) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    if (remaining_ == 0) {
+      agent_ = static_cast<int>(rng_.below(2));
+      remaining_ = rng_.between(1, static_cast<std::uint64_t>(max_burst_));
+    }
+    --remaining_;
+    return {movable(sim, agent_), kEdgeUnits};
+  }
+  std::string name() const override { return "burst"; }
+
+ private:
+  Rng rng_;
+  int max_burst_;
+  int agent_ = 0;
+  std::uint64_t remaining_ = 0;
+};
+
+class OscillatingAdversary final : public Adversary {
+ public:
+  explicit OscillatingAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    turn_ = 1 - turn_;
+    const int agent = movable(sim, turn_);
+    if (sim.mid_edge(agent) && rng_.chance(1, 3)) {
+      // Drag the agent backwards a random distance inside its edge; the
+      // forward motion on a later turn re-covers the interval.
+      return {agent, -static_cast<std::int64_t>(rng_.between(1, kEdgeUnits / 2))};
+    }
+    return {agent, static_cast<std::int64_t>(rng_.between(kEdgeUnits / 2, kEdgeUnits))};
+  }
+  std::string name() const override { return "oscillating"; }
+
+ private:
+  Rng rng_;
+  int turn_ = 1;
+};
+
+class AvoiderAdversary final : public Adversary {
+ public:
+  explicit AvoiderAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    const auto quantum = static_cast<std::int64_t>(rng_.between(kEdgeUnits / 4, kEdgeUnits));
+    const int first = static_cast<int>(rng_.below(2));
+    for (const int agent : {first, 1 - first}) {
+      if (sim.route_ended(agent)) continue;
+      if (!sim.would_meet_within_edge(agent, quantum)) return {agent, quantum};
+    }
+    // Every option contacts (or an agent must leave a node, which cannot be
+    // peeked): concede with the smallest motion of the first movable agent.
+    return {movable(sim, first), 1};
+  }
+  std::string name() const override { return "avoider"; }
+
+ private:
+  Rng rng_;
+};
+
+class PhaseAdversary final : public Adversary {
+ public:
+  PhaseAdversary(std::uint64_t seed, std::uint64_t max_phase)
+      : rng_(seed), max_phase_(max_phase) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    if (remaining_ == 0) {
+      agent_ = 1 - agent_;
+      remaining_ = rng_.between(1, max_phase_);
+    }
+    --remaining_;
+    return {movable(sim, agent_), kEdgeUnits};
+  }
+  std::string name() const override { return "phase"; }
+
+ private:
+  Rng rng_;
+  std::uint64_t max_phase_;
+  int agent_ = 1;
+  std::uint64_t remaining_ = 0;
+};
+
+class SkewAdversary final : public Adversary {
+ public:
+  SkewAdversary(std::uint64_t seed, int ratio) : rng_(seed), ratio_(ratio) {}
+
+  AdvStep next(const TwoAgentSim& sim) override {
+    if (until_swap_ == 0) {
+      fast_ = 1 - fast_;
+      until_swap_ = rng_.between(32, 256);
+    }
+    --until_swap_;
+    // The fast agent gets a full edge; the slow one a sliver, interleaved.
+    turn_ = 1 - turn_;
+    const int agent = turn_ == 0 ? fast_ : 1 - fast_;
+    const std::int64_t delta =
+        agent == fast_ ? kEdgeUnits : kEdgeUnits / ratio_;
+    return {movable(sim, agent), delta};
+  }
+  std::string name() const override { return "skew"; }
+
+ private:
+  Rng rng_;
+  int ratio_;
+  int fast_ = 0;
+  int turn_ = 1;
+  std::uint64_t until_swap_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Adversary> make_fair_adversary() {
+  return std::make_unique<FairAdversary>();
+}
+std::unique_ptr<Adversary> make_random_adversary(std::uint64_t seed, int bias_permille) {
+  return std::make_unique<RandomAdversary>(seed, bias_permille);
+}
+std::unique_ptr<Adversary> make_stall_adversary(int stalled_agent,
+                                                std::uint64_t stall_traversals) {
+  return std::make_unique<StallAdversary>(stalled_agent, stall_traversals);
+}
+std::unique_ptr<Adversary> make_burst_adversary(std::uint64_t seed, int max_burst_edges) {
+  return std::make_unique<BurstAdversary>(seed, max_burst_edges);
+}
+std::unique_ptr<Adversary> make_oscillating_adversary(std::uint64_t seed) {
+  return std::make_unique<OscillatingAdversary>(seed);
+}
+std::unique_ptr<Adversary> make_avoider_adversary(std::uint64_t seed) {
+  return std::make_unique<AvoiderAdversary>(seed);
+}
+std::unique_ptr<Adversary> make_phase_adversary(std::uint64_t seed,
+                                                std::uint64_t max_phase_edges) {
+  return std::make_unique<PhaseAdversary>(seed, max_phase_edges);
+}
+std::unique_ptr<Adversary> make_skew_adversary(std::uint64_t seed, int ratio) {
+  return std::make_unique<SkewAdversary>(seed, ratio);
+}
+
+std::vector<std::unique_ptr<Adversary>> adversary_battery(std::uint64_t seed) {
+  std::vector<std::unique_ptr<Adversary>> out;
+  out.push_back(make_fair_adversary());
+  out.push_back(make_random_adversary(seed, 500));
+  out.push_back(make_random_adversary(seed + 1, 850));
+  out.push_back(make_stall_adversary(0, 2000));
+  out.push_back(make_stall_adversary(1, 2000));
+  out.push_back(make_burst_adversary(seed + 2));
+  out.push_back(make_oscillating_adversary(seed + 3));
+  out.push_back(make_avoider_adversary(seed + 4));
+  out.push_back(make_phase_adversary(seed + 5));
+  out.push_back(make_skew_adversary(seed + 6));
+  return out;
+}
+
+std::vector<std::string> adversary_battery_names() {
+  return {"fair",   "random50",    "random85", "stall-a", "stall-b",
+          "burst",  "oscillating", "avoider",  "phase",   "skew"};
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,74 @@
+// Adversary strategies for the two-agent asynchronous model.
+//
+// The adversary fully controls the agents' walks along their (self-chosen)
+// routes: relative speeds, stalls, bursts and back-and-forth motion inside
+// an edge. A rendezvous algorithm must force a meeting against *any*
+// schedule; the strategies here form the ablation battery of experiment E9
+// and the failure-injection arm of the test suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace asyncrv {
+
+class TwoAgentSim;
+
+struct AdvStep {
+  int agent = 0;
+  std::int64_t delta = 0;
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  virtual AdvStep next(const TwoAgentSim& sim) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Strict alternation, full-edge quanta — the "synchronous" schedule.
+std::unique_ptr<Adversary> make_fair_adversary();
+
+/// Random agent (optionally biased), random fraction of an edge per step.
+std::unique_ptr<Adversary> make_random_adversary(std::uint64_t seed,
+                                                 int bias_permille = 500);
+
+/// One agent is frozen until the other has completed `stall_traversals`
+/// edge traversals; then strict alternation. Models a maximally lopsided
+/// schedule (the extreme the paper's synchronization machinery must beat).
+std::unique_ptr<Adversary> make_stall_adversary(int stalled_agent,
+                                                std::uint64_t stall_traversals);
+
+/// Random multi-edge bursts: one agent sprints while the other waits.
+std::unique_ptr<Adversary> make_burst_adversary(std::uint64_t seed,
+                                                int max_burst_edges = 8);
+
+/// Mostly fair, but frequently drags an agent backwards inside its current
+/// edge before letting it continue — exercises non-monotone walks.
+std::unique_ptr<Adversary> make_oscillating_adversary(std::uint64_t seed);
+
+/// Greedy meeting-avoider: prefers advancing an agent whose next quantum
+/// does not create a contact; when both options contact, it concedes with
+/// the smallest possible motion. The strongest schedule in the battery.
+std::unique_ptr<Adversary> make_avoider_adversary(std::uint64_t seed);
+
+/// Phase-locked schedule: long exclusive phases per agent with random
+/// phase lengths — the pattern behind the paper's "different starting
+/// times" discussion (one agent may be deep into its route before the
+/// other moves at all).
+std::unique_ptr<Adversary> make_phase_adversary(std::uint64_t seed,
+                                                std::uint64_t max_phase_edges = 64);
+
+/// Speed-skew: both agents always move, but one at a tiny fraction of the
+/// other's speed, with the roles swapping at random intervals.
+std::unique_ptr<Adversary> make_skew_adversary(std::uint64_t seed, int ratio = 16);
+
+/// The whole battery, for parameterized sweeps.
+std::vector<std::unique_ptr<Adversary>> adversary_battery(std::uint64_t seed);
+std::vector<std::string> adversary_battery_names();
+
+}  // namespace asyncrv

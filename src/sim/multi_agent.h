@@ -1,0 +1,91 @@
+// Multi-agent asynchronous simulator — the substrate of Section 4.
+//
+// k agents move in the same embedded graph under a single adversary that
+// advances one agent at a time. Dormant agents are woken either by the
+// adversary or by another agent sweeping over their position. Whenever a
+// moving agent's sweep touches other agents, a *meeting event* fires for
+// the whole co-located group (agents "notice this fact and can exchange all
+// previously acquired information"); the mover then continues — meetings
+// do not interrupt the walk, matching the paper ("if the meeting is inside
+// an edge, they continue the walk ... until reaching the other end").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/position.h"
+#include "traj/walker.h"
+
+namespace asyncrv {
+
+/// Behavior of one agent, implemented by the SGL state machine (sgl/) or by
+/// test doubles. The simulator owns the geometry; the logic owns the route.
+class AgentLogic {
+ public:
+  virtual ~AgentLogic() = default;
+
+  /// Next edge traversal; called only when the agent is awake, at a node,
+  /// with no traversal in progress. nullopt = the agent is (currently)
+  /// idle; it may be asked again after later events.
+  virtual std::optional<Move> next_move() = 0;
+
+  /// Fired for every member of a co-located group (meeting). `others` holds
+  /// the simulator indices of the other agents at the same point.
+  virtual void on_meeting(const std::vector<int>& others) = 0;
+
+  /// Fired once, when a dormant agent is woken (by the adversary or by a
+  /// visiting agent). Precedes the on_meeting of the waking contact.
+  virtual void on_wake() {}
+
+  /// True once the agent produced its final output (used for termination).
+  virtual bool done() const = 0;
+};
+
+class MultiAgentSim {
+ public:
+  explicit MultiAgentSim(const Graph& g) : g_(&g) {}
+
+  /// Registers an agent; returns its index. The logic must outlive the sim.
+  int add_agent(AgentLogic* logic, Node start, bool awake);
+
+  /// Advances agent idx by delta > 0 micro-units, firing wake and meeting
+  /// events along the way. Returns the number of units actually consumed
+  /// (0 if the agent is dormant or idle at a node).
+  std::int64_t advance(int idx, std::int64_t delta);
+
+  /// Adversary-initiated wake-up.
+  void wake(int idx);
+
+  int agent_count() const { return static_cast<int>(agents_.size()); }
+  Pos position(int idx) const;
+  bool awake(int idx) const { return agents_[static_cast<std::size_t>(idx)].awake; }
+  std::uint64_t completed_traversals(int idx) const {
+    return agents_[static_cast<std::size_t>(idx)].completed;
+  }
+  std::uint64_t total_traversals() const;
+  bool all_done() const;
+  const Graph& graph() const { return *g_; }
+
+ private:
+  struct AgentState {
+    AgentLogic* logic = nullptr;
+    std::optional<Move> cur;
+    std::int64_t prog = 0;
+    Node at = 0;
+    std::uint64_t completed = 0;
+    bool awake = false;
+  };
+
+  /// Fires wake + meeting events for every distinct contact point of the
+  /// sweep [from_prog, to_prog] of agent idx, in sweep order.
+  void process_sweep(int idx, std::int64_t from_prog, std::int64_t to_prog);
+
+  void fire_meeting(int mover, const std::vector<int>& group_at_point);
+
+  const Graph* g_;
+  std::vector<AgentState> agents_;
+};
+
+}  // namespace asyncrv

@@ -1,0 +1,48 @@
+#include "sim/position.h"
+
+#include <sstream>
+
+namespace asyncrv {
+
+std::string Pos::str() const {
+  std::ostringstream os;
+  if (kind == Kind::Node) {
+    os << "node(" << node << ")";
+  } else {
+    os << "edge(" << eid << "@" << off << "/" << kEdgeUnits << ")";
+  }
+  return os.str();
+}
+
+Pos pos_on_move(const Graph& g, const Move& m, std::int64_t prog) {
+  ASYNCRV_CHECK(prog >= 0 && prog <= kEdgeUnits);
+  if (prog == 0) return Pos::at_node(m.from);
+  if (prog == kEdgeUnits) return Pos::at_node(m.to);
+  const std::uint32_t eid = g.edge_id(m.from, m.port_out);
+  return Pos::on_edge(eid, canonical_offset(m.from, m.to, prog));
+}
+
+std::optional<std::int64_t> progress_of(const Graph& g, const Move& m, const Pos& p) {
+  if (p.kind == Pos::Kind::Node) {
+    if (p.node == m.from) return 0;
+    if (p.node == m.to) return kEdgeUnits;
+    return std::nullopt;
+  }
+  const std::uint32_t eid = g.edge_id(m.from, m.port_out);
+  if (p.eid != eid) return std::nullopt;
+  // p.off is canonical (from the lower endpoint); convert to move progress.
+  return m.from < m.to ? p.off : kEdgeUnits - p.off;
+}
+
+std::optional<std::int64_t> sweep_contact(const Graph& g, const Move& m,
+                                          std::int64_t prog1, std::int64_t prog2,
+                                          const Pos& p) {
+  const auto at = progress_of(g, m, p);
+  if (!at) return std::nullopt;
+  const std::int64_t lo = prog1 < prog2 ? prog1 : prog2;
+  const std::int64_t hi = prog1 < prog2 ? prog2 : prog1;
+  if (*at < lo || *at > hi) return std::nullopt;
+  return *at;
+}
+
+}  // namespace asyncrv

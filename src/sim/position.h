@@ -1,0 +1,78 @@
+// Exact positions and sweep geometry for the asynchronous adversary.
+//
+// The paper's adversary controls a continuous walk along the agent's route.
+// We reproduce that with exact integer geometry: an edge is kEdgeUnits
+// micro-units long, the adversary moves ONE agent at a time by an integer
+// number of units (possibly backwards within the current edge), and a
+// moving agent *sweeps* a closed interval of its edge. Any continuous
+// two-agent schedule is a limit of such interleavings, and because the
+// swept set is an exact closed interval there is no tunnelling: an agent
+// cannot jump over another one, exactly like in the continuous model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+#include "traj/walker.h"
+
+namespace asyncrv {
+
+inline constexpr std::int64_t kEdgeUnits = std::int64_t{1} << 20;
+
+/// A point of the embedded graph: a node, or an interior point of an edge
+/// (canonical offset from the lower-numbered endpoint, 0 < off < kEdgeUnits).
+struct Pos {
+  enum class Kind : std::uint8_t { Node, Edge };
+  Kind kind = Kind::Node;
+  Node node = 0;
+  std::uint32_t eid = 0;
+  std::int64_t off = 0;
+
+  static Pos at_node(Node v) {
+    Pos p;
+    p.kind = Kind::Node;
+    p.node = v;
+    return p;
+  }
+
+  static Pos on_edge(std::uint32_t eid, std::int64_t off) {
+    ASYNCRV_CHECK(off > 0 && off < kEdgeUnits);
+    Pos p;
+    p.kind = Kind::Edge;
+    p.eid = eid;
+    p.off = off;
+    return p;
+  }
+
+  friend bool operator==(const Pos& a, const Pos& b) {
+    if (a.kind != b.kind) return false;
+    if (a.kind == Kind::Node) return a.node == b.node;
+    return a.eid == b.eid && a.off == b.off;
+  }
+
+  std::string str() const;
+};
+
+/// Canonical offset (distance from the lower-numbered endpoint) of the
+/// point at progress `prog` along the directed traversal from->to.
+inline std::int64_t canonical_offset(Node from, Node to, std::int64_t prog) {
+  return from < to ? prog : kEdgeUnits - prog;
+}
+
+/// Position of an agent that has walked `prog` units of move m.
+Pos pos_on_move(const Graph& g, const Move& m, std::int64_t prog);
+
+/// If position p lies on the directed traversal described by m, returns its
+/// progress parameter along that traversal (0 = m.from, kEdgeUnits = m.to).
+std::optional<std::int64_t> progress_of(const Graph& g, const Move& m, const Pos& p);
+
+/// Whether sweeping move m from prog1 to prog2 (both inclusive; prog2 may
+/// be smaller for backward motion) touches position p; if so, the progress
+/// parameter of the contact.
+std::optional<std::int64_t> sweep_contact(const Graph& g, const Move& m,
+                                          std::int64_t prog1, std::int64_t prog2,
+                                          const Pos& p);
+
+}  // namespace asyncrv

@@ -1,0 +1,72 @@
+// A minimal lazily-evaluated generator built on C++20 coroutines.
+//
+// Every trajectory of the paper is expressed as a Generator<Move>: pulling
+// the next value performs exactly one edge traversal of the (astronomically
+// long, in the worst case) route. Destroying the generator mid-route is the
+// normal way a rendezvous ends — the adversary simply stops driving the
+// agent once the meeting happened.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace asyncrv {
+
+template <typename T>
+class Generator {
+ public:
+  struct promise_type {
+    T current{};
+    std::exception_ptr exception;
+
+    Generator get_return_object() {
+      return Generator{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(T v) {
+      current = std::move(v);
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Generator() = default;
+  explicit Generator(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+  Generator(Generator&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Generator& operator=(Generator&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~Generator() { destroy(); }
+
+  /// Advances to the next yielded value. Returns false when exhausted.
+  bool next() {
+    if (!h_ || h_.done()) return false;
+    h_.resume();
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+    return !h_.done();
+  }
+
+  const T& value() const { return h_.promise().current; }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace asyncrv

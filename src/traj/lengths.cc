@@ -1,0 +1,91 @@
+#include "traj/lengths.h"
+
+#include "util/check.h"
+
+namespace asyncrv {
+
+SatU128 LengthCalculus::X(std::uint64_t k) const { return SatU128{2} * P(k); }
+
+SatU128 LengthCalculus::Q(std::uint64_t k) const {
+  auto it = memo_q_.find(k);
+  if (it != memo_q_.end()) return it->second;
+  SatU128 sum{};
+  for (std::uint64_t i = 1; i <= k; ++i) sum += X(i);
+  memo_q_.emplace(k, sum);
+  return sum;
+}
+
+SatU128 LengthCalculus::Yprime(std::uint64_t k) const {
+  return (P(k) + SatU128{1}) * Q(k) + P(k);
+}
+
+SatU128 LengthCalculus::Y(std::uint64_t k) const { return SatU128{2} * Yprime(k); }
+
+SatU128 LengthCalculus::Z(std::uint64_t k) const {
+  auto it = memo_z_.find(k);
+  if (it != memo_z_.end()) return it->second;
+  SatU128 sum{};
+  for (std::uint64_t i = 1; i <= k; ++i) sum += Y(i);
+  memo_z_.emplace(k, sum);
+  return sum;
+}
+
+SatU128 LengthCalculus::Aprime(std::uint64_t k) const {
+  return (P(k) + SatU128{1}) * Z(k) + P(k);
+}
+
+SatU128 LengthCalculus::A(std::uint64_t k) const { return SatU128{2} * Aprime(k); }
+
+SatU128 LengthCalculus::b_reps(std::uint64_t k) const { return SatU128{2} * A(4 * k); }
+
+SatU128 LengthCalculus::B(std::uint64_t k) const { return b_reps(k) * Y(k); }
+
+SatU128 LengthCalculus::k_reps(std::uint64_t k) const {
+  return SatU128{2} * (B(4 * k) + A(8 * k));
+}
+
+SatU128 LengthCalculus::K(std::uint64_t k) const { return k_reps(k) * X(k); }
+
+SatU128 LengthCalculus::omega_reps(std::uint64_t k) const {
+  return SatU128{2 * k - 1} * K(k);
+}
+
+SatU128 LengthCalculus::Omega(std::uint64_t k) const {
+  return omega_reps(k) * X(k);
+}
+
+SatU128 LengthCalculus::segment(std::uint64_t k, int bit) const {
+  ASYNCRV_CHECK(bit == 0 || bit == 1);
+  return bit == 1 ? SatU128{2} * B(2 * k) : SatU128{2} * A(4 * k);
+}
+
+SatU128 LengthCalculus::piece(std::uint64_t k, std::uint64_t s) const {
+  ASYNCRV_CHECK(s >= 1);
+  const std::uint64_t iters = k < s ? k : s;
+  // Worst case over bits: a segment is max(2|B(2k)|, 2|A(4k)|); between
+  // consecutive segments there is a border K(k).
+  const SatU128 b2 = SatU128{2} * B(2 * k);
+  const SatU128 a4 = SatU128{2} * A(4 * k);
+  const SatU128 seg = b2 < a4 ? a4 : b2;
+  SatU128 total = SatU128{iters} * seg;
+  if (iters >= 1) total += SatU128{iters - 1} * K(k);
+  return total;
+}
+
+SatU128 LengthCalculus::piece_upper(std::uint64_t k, std::uint64_t n_plus_l_term) const {
+  return SatU128{n_plus_l_term} *
+         (SatU128{2} * A(4 * k) + SatU128{2} * B(2 * k) + K(k));
+}
+
+SatU128 pi_bound(const LengthCalculus& calc, std::uint64_t n, std::uint64_t m) {
+  ASYNCRV_CHECK(n >= 1 && m >= 1);
+  const std::uint64_t l = 2 * m + 2;
+  const std::uint64_t N = 2 * (n + l) + 1;
+  SatU128 total{};
+  for (std::uint64_t k = 1; k <= N; ++k) {
+    total += calc.piece_upper(k, N) + calc.Omega(k);
+  }
+  return total;
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,76 @@
+// Exact length calculus for the trajectory algebra (the starred quantities
+// in the proof of Theorem 3.1).
+//
+// With P the length polynomial of R(k, v):
+//   |X(k)|  = 2 P(k)                      (Def. 3.1: R then backtrack)
+//   |Q(k)|  = sum_{i=1..k} |X(i)|         (Def. 3.2)
+//   |Y'(k)| = (P(k)+1) |Q(k)| + P(k)      (Def. 3.3: Q at each trunk node)
+//   |Y(k)|  = 2 |Y'(k)|
+//   |Z(k)|  = sum_{i=1..k} |Y(i)|         (Def. 3.4)
+//   |A'(k)| = (P(k)+1) |Z(k)| + P(k)      (Def. 3.5)
+//   |A(k)|  = 2 |A'(k)|
+//   |B(k)|  = 2 |A(4k)| * |Y(k)|          (Def. 3.6: Y(k)^{2|A(4k)|})
+//   |K(k)|  = 2 (|B(4k)| + |A(8k)|) |X(k)|  (Def. 3.7)
+//   |Ω(k)|  = (2k-1) |K(k)| |X(k)|        (Def. 3.8)
+//
+// These values are astronomical already for small k, hence the saturating
+// 128-bit arithmetic. Tests cross-check the calculus against the actual
+// generators for small parameters; the repetition counts inside B, K and Ω
+// are taken *from this calculus*, so generator and calculus agree by
+// construction on the large parameters too.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "explore/ppoly.h"
+#include "util/u128.h"
+
+namespace asyncrv {
+
+class LengthCalculus {
+ public:
+  explicit LengthCalculus(PPoly p = PPoly::standard()) : p_(p) {}
+
+  const PPoly& p() const { return p_; }
+
+  SatU128 P(std::uint64_t k) const { return SatU128{p_(k)}; }
+  SatU128 X(std::uint64_t k) const;
+  SatU128 Q(std::uint64_t k) const;
+  SatU128 Yprime(std::uint64_t k) const;
+  SatU128 Y(std::uint64_t k) const;
+  SatU128 Z(std::uint64_t k) const;
+  SatU128 Aprime(std::uint64_t k) const;
+  SatU128 A(std::uint64_t k) const;
+  SatU128 B(std::uint64_t k) const;
+  SatU128 K(std::uint64_t k) const;
+  SatU128 Omega(std::uint64_t k) const;
+
+  /// Number of Y(k) repetitions inside B(k): 2 |A(4k)|.
+  SatU128 b_reps(std::uint64_t k) const;
+  /// Number of X(k) repetitions inside K(k): 2 (|B(4k)| + |A(8k)|).
+  SatU128 k_reps(std::uint64_t k) const;
+  /// Number of X(k) repetitions inside Ω(k): (2k-1) |K(k)|.
+  SatU128 omega_reps(std::uint64_t k) const;
+
+  /// Length of one segment of the k-th piece for bit b (B(2k)^2 or A(4k)^2).
+  SatU128 segment(std::uint64_t k, int bit) const;
+
+  /// Worst-case length of the k-th piece of RV-asynch-poly for an agent
+  /// whose modified label has s bits (segments + borders, fence excluded).
+  SatU128 piece(std::uint64_t k, std::uint64_t s) const;
+
+  /// The paper's upper bound T*_k <= N (2|A(4k)| + 2|B(2k)| + |K(k)|).
+  SatU128 piece_upper(std::uint64_t k, std::uint64_t n_plus_l_term) const;
+
+ private:
+  PPoly p_;
+  mutable std::unordered_map<std::uint64_t, SatU128> memo_q_, memo_z_;
+};
+
+/// The faithful worst-case rendezvous bound Π(n, m) of Theorem 3.1, where m
+/// is the length of the smaller label: with l = 2m+2 and N = 2(n+l)+1,
+/// Π(n, m) = sum_{k=1..N} (T*_k + |Ω(k)|).
+SatU128 pi_bound(const LengthCalculus& calc, std::uint64_t n, std::uint64_t m);
+
+}  // namespace asyncrv

@@ -1,0 +1,21 @@
+#include "traj/lengths_approx.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace asyncrv {
+
+double pi_bound_log10_approx(const PPoly& p, std::uint64_t n, std::uint64_t m) {
+  ASYNCRV_CHECK(n >= 1 && m >= 1);
+  LengthCalculusD c(p);
+  const std::uint64_t l = 2 * m + 2;
+  const std::uint64_t N = 2 * (n + l) + 1;
+  double total = 0;
+  for (std::uint64_t k = 1; k <= N; ++k) {
+    total += c.piece_upper(k, N) + c.Omega(k);
+  }
+  return std::log10(total);
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,57 @@
+// Floating-point mirror of the exact length calculus.
+//
+// The exact SatU128 calculus (lengths.h) saturates at 2^128 ≈ 10^38.5,
+// which is not enough to *report* the faithful worst-case bounds (Π can
+// exceed 10^100 for moderate parameters). This mirror evaluates the same
+// recurrences in double precision (exact up to 2^53, then a tight
+// relative approximation) so experiment harnesses can print meaningful
+// log10 values. Tests cross-check it against the exact calculus wherever
+// the latter does not saturate.
+#pragma once
+
+#include <cstdint>
+
+#include "explore/ppoly.h"
+
+namespace asyncrv {
+
+class LengthCalculusD {
+ public:
+  explicit LengthCalculusD(PPoly p = PPoly::standard()) : p_(p) {}
+
+  double P(std::uint64_t k) const { return static_cast<double>(p_(k)); }
+  double X(std::uint64_t k) const { return 2.0 * P(k); }
+  double Q(std::uint64_t k) const {
+    double s = 0;
+    for (std::uint64_t i = 1; i <= k; ++i) s += X(i);
+    return s;
+  }
+  double Yprime(std::uint64_t k) const { return (P(k) + 1.0) * Q(k) + P(k); }
+  double Y(std::uint64_t k) const { return 2.0 * Yprime(k); }
+  double Z(std::uint64_t k) const {
+    double s = 0;
+    for (std::uint64_t i = 1; i <= k; ++i) s += Y(i);
+    return s;
+  }
+  double Aprime(std::uint64_t k) const { return (P(k) + 1.0) * Z(k) + P(k); }
+  double A(std::uint64_t k) const { return 2.0 * Aprime(k); }
+  double B(std::uint64_t k) const { return 2.0 * A(4 * k) * Y(k); }
+  double K(std::uint64_t k) const {
+    return 2.0 * (B(4 * k) + A(8 * k)) * X(k);
+  }
+  double Omega(std::uint64_t k) const {
+    return (2.0 * static_cast<double>(k) - 1.0) * K(k) * X(k);
+  }
+  double piece_upper(std::uint64_t k, std::uint64_t N) const {
+    return static_cast<double>(N) * (2.0 * A(4 * k) + 2.0 * B(2 * k) + K(k));
+  }
+
+ private:
+  PPoly p_;
+};
+
+/// log10 of the faithful bound Π(n, m), evaluated in double space
+/// (meaningful far beyond the 128-bit saturation point).
+double pi_bound_log10_approx(const PPoly& p, std::uint64_t n, std::uint64_t m);
+
+}  // namespace asyncrv

@@ -1,0 +1,134 @@
+#include "traj/traj.h"
+
+namespace asyncrv {
+
+Generator<Move> follow_R(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  RStepper stepper(kit.uxs());
+  const std::uint64_t len = kit.uxs().length(k);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    const Port p = stepper.next_port(w.degree());
+    Move m = w.take(p);
+    stepper.advance(m);
+    co_yield m;
+  }
+}
+
+Generator<Move> follow_reverse(Walker& w, const Trail& trail) {
+  for (std::size_t i = trail.entry_ports.size(); i > 0; --i) {
+    co_yield w.take(static_cast<Port>(trail.entry_ports[i - 1]));
+  }
+}
+
+Generator<Move> follow_X(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  Trail trail;
+  {
+    TrailScope scope(w, trail);
+    auto fwd = follow_R(w, kit, k);
+    while (fwd.next()) co_yield fwd.value();
+  }
+  auto rev = follow_reverse(w, trail);
+  while (rev.next()) co_yield rev.value();
+}
+
+Generator<Move> follow_Q(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    auto x = follow_X(w, kit, i);
+    while (x.next()) co_yield x.value();
+  }
+}
+
+Generator<Move> follow_Yprime(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  RStepper trunk(kit.uxs());
+  const std::uint64_t len = kit.uxs().length(k);
+  {
+    auto q = follow_Q(w, kit, k);
+    while (q.next()) co_yield q.value();
+  }
+  for (std::uint64_t i = 0; i < len; ++i) {
+    const Port p = trunk.next_port(w.degree());
+    Move m = w.take(p);
+    trunk.advance(m);
+    co_yield m;
+    auto q = follow_Q(w, kit, k);
+    while (q.next()) co_yield q.value();
+  }
+}
+
+Generator<Move> follow_Y(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  Trail trail;
+  {
+    TrailScope scope(w, trail);
+    auto fwd = follow_Yprime(w, kit, k);
+    while (fwd.next()) co_yield fwd.value();
+  }
+  auto rev = follow_reverse(w, trail);
+  while (rev.next()) co_yield rev.value();
+}
+
+Generator<Move> follow_Z(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    auto y = follow_Y(w, kit, i);
+    while (y.next()) co_yield y.value();
+  }
+}
+
+Generator<Move> follow_Aprime(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  RStepper trunk(kit.uxs());
+  const std::uint64_t len = kit.uxs().length(k);
+  {
+    auto z = follow_Z(w, kit, k);
+    while (z.next()) co_yield z.value();
+  }
+  for (std::uint64_t i = 0; i < len; ++i) {
+    const Port p = trunk.next_port(w.degree());
+    Move m = w.take(p);
+    trunk.advance(m);
+    co_yield m;
+    auto z = follow_Z(w, kit, k);
+    while (z.next()) co_yield z.value();
+  }
+}
+
+Generator<Move> follow_A(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  Trail trail;
+  {
+    TrailScope scope(w, trail);
+    auto fwd = follow_Aprime(w, kit, k);
+    while (fwd.next()) co_yield fwd.value();
+  }
+  auto rev = follow_reverse(w, trail);
+  while (rev.next()) co_yield rev.value();
+}
+
+namespace {
+
+/// Shared shape of B, K and Ω: a base trajectory repeated `reps` times.
+/// `reps` is saturating 128-bit: a saturated count simply behaves as
+/// "practically infinite", which is faithful — such a route could never be
+/// walked to completion anyway.
+template <typename MakeBase>
+Generator<Move> repeat_base(u128 reps, MakeBase make_base) {
+  for (u128 r = 0; r < reps; ++r) {
+    auto base = make_base();
+    while (base.next()) co_yield base.value();
+  }
+}
+
+}  // namespace
+
+Generator<Move> follow_B(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  return repeat_base(kit.lengths().b_reps(k).value(),
+                     [&w, &kit, k] { return follow_Y(w, kit, k); });
+}
+
+Generator<Move> follow_K(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  return repeat_base(kit.lengths().k_reps(k).value(),
+                     [&w, &kit, k] { return follow_X(w, kit, k); });
+}
+
+Generator<Move> follow_Omega(Walker& w, const TrajKit& kit, std::uint64_t k) {
+  return repeat_base(kit.lengths().omega_reps(k).value(),
+                     [&w, &kit, k] { return follow_X(w, kit, k); });
+}
+
+}  // namespace asyncrv

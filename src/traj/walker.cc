@@ -1,0 +1,3 @@
+#include "traj/walker.h"
+
+// Walker is header-only; see walker.h.

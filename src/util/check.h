@@ -1,0 +1,32 @@
+// Invariant checking for asyncrv.
+//
+// ASYNCRV_CHECK is used for preconditions and internal invariants of the
+// library. Violations throw std::logic_error so that tests can assert on
+// misuse without aborting the whole process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asyncrv {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ASYNCRV_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace asyncrv
+
+#define ASYNCRV_CHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) ::asyncrv::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ASYNCRV_CHECK_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr)) ::asyncrv::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

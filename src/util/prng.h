@@ -1,0 +1,50 @@
+// Small deterministic PRNGs used for reproducible graph generation,
+// exploration sequences and adversary schedules. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+
+namespace asyncrv {
+
+/// SplitMix64: stateless mixing of a 64-bit counter into a 64-bit value.
+/// Used to derive the i-th term of the universal exploration sequence from a
+/// seed without storing the sequence.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateful xorshift-based generator for workloads and adversaries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(splitmix64(seed ^ 0xabcdef1234567890ULL)) {
+    if (state_ == 0) state_ = 1;
+  }
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  /// Uniform value in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return below(den) < num; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace asyncrv

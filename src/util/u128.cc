@@ -1,0 +1,33 @@
+#include "util/u128.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asyncrv {
+
+std::string u128_to_string(u128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v > 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double SatU128::log10() const {
+  if (saturated_) return 38.0;
+  if (value_ == 0) return 0.0;
+  // Split into high/low 64-bit halves for a double approximation.
+  const double hi = static_cast<double>(static_cast<std::uint64_t>(value_ >> 64));
+  const double lo = static_cast<double>(static_cast<std::uint64_t>(value_));
+  return std::log10(hi * 18446744073709551616.0 + lo);
+}
+
+std::string SatU128::str() const {
+  if (saturated_) return ">= 2^128";
+  return u128_to_string(value_);
+}
+
+}  // namespace asyncrv

@@ -1,0 +1,93 @@
+// Saturating 128-bit unsigned arithmetic.
+//
+// The worst-case trajectory lengths of the paper (Theorem 3.1) overflow
+// 64 bits already for small parameters, and overflow 128 bits for moderate
+// ones. SatU128 is a saturating 128-bit counter: once a computation
+// overflows it sticks to "saturated" and remembers that fact, so the length
+// calculus can still be compared, ordered and reported (as a log10
+// estimate) without undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asyncrv {
+
+using u128 = unsigned __int128;
+
+/// Decimal rendering of a raw 128-bit value.
+std::string u128_to_string(u128 v);
+
+/// A saturating 128-bit unsigned integer.
+class SatU128 {
+ public:
+  constexpr SatU128() = default;
+  constexpr SatU128(std::uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
+
+  static constexpr SatU128 from_raw(u128 v) {
+    SatU128 s;
+    s.value_ = v;
+    return s;
+  }
+
+  static constexpr SatU128 saturated() {
+    SatU128 s;
+    s.value_ = ~u128{0};
+    s.saturated_ = true;
+    return s;
+  }
+
+  constexpr bool is_saturated() const { return saturated_; }
+  constexpr u128 value() const { return value_; }
+
+  /// Lossy conversion for reporting; saturates at the u64 max.
+  constexpr std::uint64_t to_u64_clamped() const {
+    const u128 max64 = ~std::uint64_t{0};
+    return value_ > max64 ? ~std::uint64_t{0}
+                          : static_cast<std::uint64_t>(value_);
+  }
+
+  friend constexpr SatU128 operator+(SatU128 a, SatU128 b) {
+    if (a.saturated_ || b.saturated_) return saturated();
+    u128 s = a.value_ + b.value_;
+    if (s < a.value_) return saturated();
+    SatU128 r;
+    r.value_ = s;
+    return r;
+  }
+
+  friend constexpr SatU128 operator*(SatU128 a, SatU128 b) {
+    if (a.value_ == 0 || b.value_ == 0) return SatU128{};
+    if (a.saturated_ || b.saturated_) return saturated();
+    u128 p = a.value_ * b.value_;
+    if (p / a.value_ != b.value_) return saturated();
+    SatU128 r;
+    r.value_ = p;
+    return r;
+  }
+
+  SatU128& operator+=(SatU128 b) { return *this = *this + b; }
+  SatU128& operator*=(SatU128 b) { return *this = *this * b; }
+
+  friend constexpr bool operator==(SatU128 a, SatU128 b) {
+    return a.value_ == b.value_ && a.saturated_ == b.saturated_;
+  }
+  friend constexpr bool operator<(SatU128 a, SatU128 b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(SatU128 a, SatU128 b) {
+    return a.value_ <= b.value_;
+  }
+
+  /// Approximate log10; for saturated values returns a lower bound (38).
+  double log10() const;
+
+  /// Decimal string; saturated values are rendered as ">= 2^128".
+  std::string str() const;
+
+ private:
+  u128 value_ = 0;
+  bool saturated_ = false;
+};
+
+}  // namespace asyncrv

@@ -1,0 +1,121 @@
+// The four applications of Section 4 (team size, leader election, perfect
+// renaming, gossiping) derived from completed SGL runs.
+#include "sgl/apps.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builders.h"
+
+namespace asyncrv {
+namespace {
+
+TrajKit& kit() {
+  static TrajKit k(PPoly::tiny(), 0x5eed0001);
+  return k;
+}
+
+std::vector<SglAgentSpec> make_specs(const std::vector<std::uint64_t>& labels) {
+  std::vector<SglAgentSpec> specs;
+  Node start = 0;
+  for (std::uint64_t lab : labels) {
+    SglAgentSpec s;
+    s.start = start++;
+    s.label = lab;
+    s.value = "payload-" + std::to_string(lab);
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+TEST(Apps, AllFourProblemsSolved) {
+  Graph g = make_ring(4);
+  auto specs = make_specs({14, 3, 27});
+  const SglSolveOutcome out =
+      solve_all_problems(g, kit(), SglConfig{}, specs, 120'000'000, 21);
+  ASSERT_TRUE(out.run.completed);
+
+  // Team size: everyone answers k = 3.
+  for (const auto& s : specs) {
+    EXPECT_EQ(out.apps.team_size.at(s.label), 3u);
+  }
+  // Leader election: everyone elects the smallest label.
+  for (const auto& s : specs) {
+    EXPECT_EQ(out.apps.leader.at(s.label), 3u);
+  }
+  // Perfect renaming: a bijection onto {1..k} respecting label order.
+  EXPECT_EQ(out.apps.new_name.at(3), 1u);
+  EXPECT_EQ(out.apps.new_name.at(14), 2u);
+  EXPECT_EQ(out.apps.new_name.at(27), 3u);
+  // Gossiping: everyone holds everyone's initial value.
+  for (const auto& s : specs) {
+    const Bag& got = out.apps.gossip.at(s.label);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got.at(14), "payload-14");
+    EXPECT_EQ(got.at(3), "payload-3");
+    EXPECT_EQ(got.at(27), "payload-27");
+  }
+}
+
+TEST(Apps, RenamingIsAPermutation) {
+  Graph g = make_path(4);
+  auto specs = make_specs({100, 1, 50, 7});
+  const SglSolveOutcome out =
+      solve_all_problems(g, kit(), SglConfig{}, specs, 150'000'000, 22);
+  ASSERT_TRUE(out.run.completed);
+  std::set<std::uint64_t> names;
+  for (const auto& s : specs) {
+    const std::uint64_t name = out.apps.new_name.at(s.label);
+    EXPECT_GE(name, 1u);
+    EXPECT_LE(name, specs.size());
+    EXPECT_TRUE(names.insert(name).second) << "names must be distinct";
+  }
+  EXPECT_EQ(names.size(), specs.size());
+}
+
+TEST(Apps, LeaderIsUnanimousAndMinimal) {
+  Graph g = make_star(4);
+  auto specs = make_specs({9, 33, 17});
+  const SglSolveOutcome out =
+      solve_all_problems(g, kit(), SglConfig{}, specs, 120'000'000, 23);
+  ASSERT_TRUE(out.run.completed);
+  std::set<std::uint64_t> leaders;
+  for (const auto& s : specs) leaders.insert(out.apps.leader.at(s.label));
+  ASSERT_EQ(leaders.size(), 1u) << "all agents elect the same leader";
+  EXPECT_EQ(*leaders.begin(), 9u);
+}
+
+TEST(Apps, TeamSizeTwo) {
+  Graph g = make_edge();
+  auto specs = make_specs({6, 2});
+  const SglSolveOutcome out =
+      solve_all_problems(g, kit(), SglConfig{}, specs, 40'000'000, 24);
+  ASSERT_TRUE(out.run.completed);
+  EXPECT_EQ(out.apps.team_size.at(6), 2u);
+  EXPECT_EQ(out.apps.team_size.at(2), 2u);
+}
+
+TEST(Apps, DeriveRejectsIncompleteRuns) {
+  SglRunResult incomplete;
+  incomplete.completed = false;
+  EXPECT_THROW(derive_applications(incomplete, make_specs({1, 2})),
+               std::logic_error);
+}
+
+TEST(Apps, GossipValuesAreAgentSpecific) {
+  Graph g = make_ring(4);
+  auto specs = make_specs({2, 5});
+  specs[0].value = "alpha";
+  specs[1].value = "beta";
+  const SglSolveOutcome out =
+      solve_all_problems(g, kit(), SglConfig{}, specs, 60'000'000, 25);
+  ASSERT_TRUE(out.run.completed);
+  for (const auto& s : specs) {
+    EXPECT_EQ(out.apps.gossip.at(s.label).at(2), "alpha");
+    EXPECT_EQ(out.apps.gossip.at(s.label).at(5), "beta");
+  }
+}
+
+}  // namespace
+}  // namespace asyncrv

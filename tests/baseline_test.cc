@@ -1,0 +1,97 @@
+// The naive exponential baseline: route shape, exponential repetition
+// count, and termination.
+#include "rv/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.h"
+
+namespace asyncrv {
+namespace {
+
+PPoly micro() { return PPoly{0, 0, 2, 2}; }
+
+TEST(Baseline, RepetitionCountIsExponentialInLabel) {
+  LengthCalculus c(micro());
+  // base = 2P(n)+1 = 5 with P == 2.
+  EXPECT_EQ(baseline_reps(c, 3, 1).to_u64_clamped(), 5u);
+  EXPECT_EQ(baseline_reps(c, 3, 2).to_u64_clamped(), 25u);
+  EXPECT_EQ(baseline_reps(c, 3, 6).to_u64_clamped(), 15625u);
+  // Doubling the label squares the count.
+  const SatU128 r4 = baseline_reps(c, 3, 4);
+  EXPECT_EQ((baseline_reps(c, 3, 2) * baseline_reps(c, 3, 2)).value(), r4.value());
+}
+
+TEST(Baseline, SaturatesForLargeLabels) {
+  LengthCalculus c(PPoly::standard());
+  EXPECT_TRUE(baseline_reps(c, 10, 100).is_saturated());
+  EXPECT_TRUE(baseline_route_length(c, 10, 100).is_saturated());
+}
+
+TEST(Baseline, RouteLengthMatchesFormulaAndTerminates) {
+  TrajKit kit(micro(), 0x31);
+  Graph g = make_ring(3);
+  Walker w(g, 0);
+  auto route = baseline_route(w, kit, 3, 1);
+  std::uint64_t n = 0;
+  while (route.next()) ++n;
+  EXPECT_EQ(n, baseline_route_length(kit.lengths(), 3, 1).to_u64_clamped());
+  EXPECT_EQ(w.node(), 0u) << "baseline route ends at its start (X anchors)";
+}
+
+TEST(Baseline, RouteIsRepeatedX) {
+  TrajKit kit(micro(), 0x32);
+  Graph g = make_path(3);
+  Walker wx(g, 1);
+  std::vector<Move> x;
+  {
+    auto gx = follow_X(wx, kit, 3);
+    while (gx.next()) x.push_back(gx.value());
+  }
+  Walker wb(g, 1);
+  auto route = baseline_route(wb, kit, 3, 1);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      ASSERT_TRUE(route.next());
+      EXPECT_EQ(route.value().port_out, x[i].port_out);
+    }
+  }
+  EXPECT_FALSE(route.next()) << "exactly (2P(n)+1)^L = 5 repetitions";
+}
+
+TEST(Baseline, LogSpaceLengthAgreesWithExactBelowSaturation) {
+  LengthCalculus c(micro());
+  for (std::uint64_t lab = 1; lab <= 20; ++lab) {
+    const SatU128 exact = baseline_route_length(c, 3, lab);
+    if (exact.is_saturated()) break;
+    EXPECT_NEAR(baseline_route_length_log10(c, 3, lab), exact.log10(), 1e-6)
+        << "label " << lab;
+  }
+}
+
+TEST(Baseline, LogSpaceLengthGrowsLinearlyInLabel) {
+  LengthCalculus c(PPoly::standard());
+  const double slope100 = baseline_route_length_log10(c, 8, 200) -
+                          baseline_route_length_log10(c, 8, 100);
+  const double slope200 = baseline_route_length_log10(c, 8, 300) -
+                          baseline_route_length_log10(c, 8, 200);
+  EXPECT_NEAR(slope100, slope200, 1e-9) << "log-cost is exactly linear in L";
+  EXPECT_GT(slope100, 100.0);
+}
+
+TEST(Baseline, CostGapVersusPolynomial) {
+  // The headline claim in microcosm: the baseline's worst-case route grows
+  // exponentially in L while the structure of RV-asynch-poly is label-
+  // independent per piece. Here: baseline route length for |L| doubling.
+  LengthCalculus c(PPoly::compact());
+  const double l4 = baseline_route_length(c, 4, 4).log10();
+  const double l8 = baseline_route_length(c, 4, 8).log10();
+  const double l12 = baseline_route_length(c, 4, 12).log10();
+  // Exponential: log-length grows linearly in L (equal increments of L give
+  // equal increments of the log-cost).
+  EXPECT_NEAR(l8 - l4, l12 - l8, 0.5);
+  EXPECT_GT(l8 - l4, 2.0);
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,121 @@
+// Serialization round-trips (exact port numbering preserved) and malformed
+// input rejection with line-numbered diagnostics.
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.h"
+#include "graph/catalog.h"
+
+namespace asyncrv {
+namespace {
+
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (Node v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "node " << v;
+    for (Port p = 0; p < a.degree(v); ++p) {
+      EXPECT_EQ(a.step(v, p).to, b.step(v, p).to) << v << ":" << p;
+      EXPECT_EQ(a.step(v, p).port_at_to, b.step(v, p).port_at_to) << v << ":" << p;
+    }
+  }
+}
+
+class RoundTripSuite : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(RoundTripSuite, TextRoundTripPreservesPorts) {
+  const Graph& g = GetParam().graph;
+  const Graph back = from_text(to_text(g));
+  expect_identical(g, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCatalog, RoundTripSuite,
+                         ::testing::ValuesIn(small_catalog()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n) {
+                             if (c == '/' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(GraphIo, ShuffledPortsSurviveRoundTrip) {
+  // The whole point of the format: a NON-canonical port numbering must be
+  // reproduced exactly, not re-canonicalized.
+  Graph g = make_complete(5).shuffle_ports(0xf00d);
+  expect_identical(g, from_text(to_text(g)));
+}
+
+TEST(GraphIo, CommentsAndFormatting) {
+  const std::string text =
+      "asyncrv-graph v1\n"
+      "# a triangle\n"
+      "nodes 3\n"
+      "edges 3\n"
+      "edge 0 0 1 0\n"
+      "edge 1 1 2 0\n"
+      "edge 2 1 0 1\n";
+  const Graph g = from_text(text);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.step(0, 0).to, 1u);
+  EXPECT_EQ(g.step(0, 1).to, 2u);
+  EXPECT_EQ(g.step(2, 0).to, 1u);
+}
+
+TEST(GraphIo, RejectsMalformedInputs) {
+  EXPECT_THROW(from_text(""), std::logic_error);
+  EXPECT_THROW(from_text("wrong header\n"), std::logic_error);
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 0\nedges 0\n"), std::logic_error);
+  // Self-loop.
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 2\nedges 1\nedge 0 0 0 1\n"),
+               std::logic_error);
+  // Port reuse at a node.
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 3\nedges 2\n"
+                         "edge 0 0 1 0\nedge 0 0 2 0\n"),
+               std::logic_error);
+  // Non-contiguous ports.
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 2\nedges 1\nedge 0 1 1 0\n"),
+               std::logic_error);
+  // Disconnected (caught by from_edges).
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 4\nedges 2\n"
+                         "edge 0 0 1 0\nedge 2 0 3 0\n"),
+               std::logic_error);
+  // Truncated edge list.
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 2\nedges 1\n"), std::logic_error);
+  // Trailing garbage.
+  EXPECT_THROW(from_text("asyncrv-graph v1\nnodes 2\nedges 1\n"
+                         "edge 0 0 1 0\nextra\n"),
+               std::logic_error);
+}
+
+TEST(GraphIo, ErrorsAreLineNumbered) {
+  try {
+    from_text("asyncrv-graph v1\nnodes 2\nedges 1\nedge 0 0 0 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(GraphIo, DotExportMentionsAllEdgesAndPorts) {
+  Graph g = make_ring(4);
+  const std::string dot = to_dot(g, "ring4");
+  EXPECT_NE(dot.find("graph ring4 {"), std::string::npos);
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, g.edge_count());
+  EXPECT_NE(dot.find("taillabel"), std::string::npos);
+}
+
+TEST(GraphIo, RemapPortsValidatesArity) {
+  Graph g = make_ring(4);
+  std::vector<std::vector<Port>> bad(4);
+  EXPECT_THROW(g.remap_ports(bad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace asyncrv

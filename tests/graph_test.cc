@@ -1,0 +1,167 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builders.h"
+#include "graph/catalog.h"
+
+namespace asyncrv {
+namespace {
+
+TEST(Graph, FromEdgesBasics) {
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Graph, PortSemantics) {
+  // Ports at every node are 0..deg-1 and step() round-trips.
+  Graph g = make_petersen();
+  for (Node v = 0; v < g.size(); ++v) {
+    std::set<Node> neighbors;
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const Graph::Half h = g.step(v, p);
+      EXPECT_NE(h.to, v) << "no self-loops";
+      EXPECT_TRUE(neighbors.insert(h.to).second) << "simple graph";
+      // The inverse port leads back.
+      const Graph::Half back = g.step(h.to, h.port_at_to);
+      EXPECT_EQ(back.to, v);
+      EXPECT_EQ(back.port_at_to, p);
+    }
+  }
+}
+
+TEST(Graph, EdgeIdsAreCanonical) {
+  Graph g = make_grid(3, 3);
+  std::set<std::uint32_t> ids;
+  for (Node v = 0; v < g.size(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const std::uint32_t eid = g.edge_id(v, p);
+      EXPECT_LT(eid, g.edge_count());
+      ids.insert(eid);
+      const Graph::Half h = g.step(v, p);
+      EXPECT_EQ(g.edge_id(h.to, h.port_at_to), eid) << "same id from both sides";
+      const auto [a, b] = g.edge_endpoints(eid);
+      EXPECT_LT(a, b);
+      EXPECT_TRUE((a == v && b == h.to) || (a == h.to && b == v));
+    }
+  }
+  EXPECT_EQ(ids.size(), g.edge_count());
+}
+
+TEST(Graph, RejectsMalformedInput) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 0}}), std::logic_error);       // self-loop
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1}, {1, 0}}), std::logic_error);  // dup
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::logic_error);       // range
+  EXPECT_THROW(Graph::from_edges(4, {{0, 1}, {2, 3}}), std::logic_error);  // disconnected
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}}), std::logic_error);       // disconnected
+}
+
+TEST(Graph, PortShuffleKeepsTopology) {
+  Graph g = make_random_connected(12, 6, 99);
+  Graph s = g.shuffle_ports(4242);
+  ASSERT_EQ(s.size(), g.size());
+  ASSERT_EQ(s.edge_count(), g.edge_count());
+  for (Node v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(s.degree(v), g.degree(v));
+    std::set<Node> orig, shuf;
+    for (Port p = 0; p < g.degree(v); ++p) {
+      orig.insert(g.step(v, p).to);
+      shuf.insert(s.step(v, p).to);
+    }
+    EXPECT_EQ(orig, shuf) << "same neighborhood at node " << v;
+  }
+  // And the shuffled graph is still port-consistent.
+  for (Node v = 0; v < s.size(); ++v) {
+    for (Port p = 0; p < s.degree(v); ++p) {
+      const Graph::Half h = s.step(v, p);
+      EXPECT_EQ(s.step(h.to, h.port_at_to).to, v);
+    }
+  }
+}
+
+TEST(Graph, ShuffleActuallyPermutes) {
+  Graph g = make_complete(6);
+  Graph s = g.shuffle_ports(7);
+  bool any_diff = false;
+  for (Node v = 0; v < g.size() && !any_diff; ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      if (g.step(v, p).to != s.step(v, p).to) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class BuilderSuite : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(BuilderSuite, WellFormed) {
+  const Graph& g = GetParam().graph;
+  EXPECT_GE(g.size(), 2u);
+  // Handshake: sum of degrees = 2m.
+  std::size_t degsum = 0;
+  for (Node v = 0; v < g.size(); ++v) degsum += static_cast<std::size_t>(g.degree(v));
+  EXPECT_EQ(degsum, 2 * g.edge_count());
+  // Port inverse property everywhere.
+  for (Node v = 0; v < g.size(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const Graph::Half h = g.step(v, p);
+      EXPECT_EQ(g.step(h.to, h.port_at_to).to, v);
+      EXPECT_EQ(g.step(h.to, h.port_at_to).port_at_to, p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCatalog, BuilderSuite,
+                         ::testing::ValuesIn(small_catalog()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n) {
+                             if (c == '/' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+INSTANTIATE_TEST_SUITE_P(MediumCatalog, BuilderSuite,
+                         ::testing::ValuesIn(medium_catalog()),
+                         [](const auto& info) {
+                           std::string n = info.param.name + "_m";
+                           for (char& c : n) {
+                             if (c == '/' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Builders, SpecificShapes) {
+  EXPECT_EQ(make_ring(7).edge_count(), 7u);
+  EXPECT_EQ(make_path(7).edge_count(), 6u);
+  EXPECT_EQ(make_complete(6).edge_count(), 15u);
+  EXPECT_EQ(make_star(9).degree(0), 8);
+  EXPECT_EQ(make_hypercube(4).size(), 16u);
+  EXPECT_EQ(make_hypercube(4).degree(3), 4);
+  EXPECT_EQ(make_torus(3, 3).edge_count(), 18u);
+  EXPECT_EQ(make_binary_tree(3).size(), 15u);
+  EXPECT_EQ(make_petersen().size(), 10u);
+  for (Node v = 0; v < 10; ++v) EXPECT_EQ(make_petersen().degree(v), 3);
+  EXPECT_EQ(make_random_tree(20, 5).edge_count(), 19u);
+  EXPECT_EQ(make_barbell(4, 2).size(), 10u);
+  EXPECT_EQ(make_edge().size(), 2u);
+  EXPECT_EQ(make_lollipop(8, 4).edge_count(), 6u + 4u);
+}
+
+TEST(Builders, RejectBadParameters) {
+  EXPECT_THROW(make_ring(2), std::logic_error);
+  EXPECT_THROW(make_path(1), std::logic_error);
+  EXPECT_THROW(make_torus(2, 5), std::logic_error);
+  EXPECT_THROW(make_lollipop(3, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,97 @@
+// The label transformation M(x) (Section 3.1): doubling + "01" suffix
+// yields a prefix-free code over distinct labels.
+#include "rv/label.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace asyncrv {
+namespace {
+
+TEST(Label, BinaryBits) {
+  EXPECT_EQ(binary_bits(1), (std::vector<int>{1}));
+  EXPECT_EQ(binary_bits(2), (std::vector<int>{1, 0}));
+  EXPECT_EQ(binary_bits(5), (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(binary_bits(255), (std::vector<int>(8, 1)));
+  EXPECT_EQ(binary_bits(256).size(), 9u);
+  EXPECT_THROW(binary_bits(0), std::logic_error);
+}
+
+TEST(Label, LabelLength) {
+  EXPECT_EQ(label_length(1), 1);
+  EXPECT_EQ(label_length(2), 2);
+  EXPECT_EQ(label_length(3), 2);
+  EXPECT_EQ(label_length(4), 3);
+  EXPECT_EQ(label_length(1ULL << 40), 41);
+}
+
+TEST(Label, ModifiedLabelShape) {
+  // M(101) = 11 00 11 01.
+  EXPECT_EQ(modified_label(5), (std::vector<int>{1, 1, 0, 0, 1, 1, 0, 1}));
+  // |M(x)| = 2|x| + 2.
+  for (std::uint64_t lab : {1ULL, 2ULL, 7ULL, 100ULL, 12345ULL}) {
+    EXPECT_EQ(modified_label(lab).size(),
+              2 * static_cast<std::size_t>(label_length(lab)) + 2);
+  }
+}
+
+bool is_prefix(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() > b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+TEST(Label, PrefixFreeProperty) {
+  // For any x != y, M(x) is never a prefix of M(y) (exhaustive for small
+  // labels, which includes all length combinations up to 7 bits).
+  for (std::uint64_t x = 1; x <= 100; ++x) {
+    const auto mx = modified_label(x);
+    for (std::uint64_t y = 1; y <= 100; ++y) {
+      if (x == y) continue;
+      EXPECT_FALSE(is_prefix(mx, modified_label(y)))
+          << "M(" << x << ") is a prefix of M(" << y << ")";
+    }
+  }
+}
+
+TEST(Label, Injective) {
+  for (std::uint64_t x = 1; x <= 200; ++x) {
+    for (std::uint64_t y = x + 1; y <= 200; ++y) {
+      EXPECT_NE(modified_label(x), modified_label(y));
+    }
+  }
+}
+
+TEST(Label, FirstDiffPositionExistsAndIsTight) {
+  for (std::uint64_t x = 1; x <= 40; ++x) {
+    for (std::uint64_t y = 1; y <= 40; ++y) {
+      if (x == y) continue;
+      const std::size_t pos = first_diff_position(x, y);
+      const auto mx = modified_label(x);
+      const auto my = modified_label(y);
+      ASSERT_GE(pos, 1u);
+      ASSERT_LE(pos, std::min(mx.size(), my.size()));
+      EXPECT_NE(mx[pos - 1], my[pos - 1]);
+      for (std::size_t i = 0; i + 1 < pos; ++i) EXPECT_EQ(mx[i], my[i]);
+      // Symmetric.
+      EXPECT_EQ(first_diff_position(y, x), pos);
+    }
+  }
+}
+
+TEST(Label, PaperObservation) {
+  // The paper notes lambda > 1: the first differing position is never the
+  // first bit (both modified labels start with the first bit doubled, and
+  // any two binary representations start with 1).
+  for (std::uint64_t x = 1; x <= 64; ++x) {
+    for (std::uint64_t y = x + 1; y <= 64; ++y) {
+      EXPECT_GT(first_diff_position(x, y), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncrv

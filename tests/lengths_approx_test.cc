@@ -1,0 +1,85 @@
+// The double-space mirror of the length calculus: agreement with the exact
+// 128-bit calculus wherever the latter does not saturate, and sane growth
+// beyond the saturation point.
+#include "traj/lengths_approx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traj/lengths.h"
+
+namespace asyncrv {
+namespace {
+
+TEST(LengthsApprox, AgreesWithExactCalculusBelowSaturation) {
+  const PPoly p = PPoly{0, 0, 2, 2};
+  LengthCalculus exact(p);
+  LengthCalculusD approx(p);
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(approx.X(k), static_cast<double>(exact.X(k).to_u64_clamped()));
+    EXPECT_DOUBLE_EQ(approx.Q(k), static_cast<double>(exact.Q(k).to_u64_clamped()));
+    EXPECT_DOUBLE_EQ(approx.Y(k), static_cast<double>(exact.Y(k).to_u64_clamped()));
+    EXPECT_DOUBLE_EQ(approx.Z(k), static_cast<double>(exact.Z(k).to_u64_clamped()));
+    EXPECT_DOUBLE_EQ(approx.A(k), static_cast<double>(exact.A(k).to_u64_clamped()));
+    EXPECT_DOUBLE_EQ(approx.B(k), static_cast<double>(exact.B(k).to_u64_clamped()));
+  }
+}
+
+TEST(LengthsApprox, RelativeAgreementOnLargeValues) {
+  // Where the exact value still fits in 128 bits, the double mirror must
+  // agree to ~1e-9 relative error.
+  const PPoly p = PPoly::tiny();
+  LengthCalculus exact(p);
+  LengthCalculusD approx(p);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const SatU128 e = exact.K(k);
+    if (e.is_saturated()) continue;
+    EXPECT_NEAR(std::log10(approx.K(k)), e.log10(), 1e-6) << "k=" << k;
+  }
+}
+
+TEST(LengthsApprox, PiBoundBeyondSaturation) {
+  // The exact Π saturates (log10 pinned at 38); the approximation keeps
+  // growing and dominates the saturated reading.
+  const PPoly p = PPoly::tiny();
+  LengthCalculus exact(p);
+  const double exact_l = pi_bound(exact, 6, 3).log10();
+  const double approx_l = pi_bound_log10_approx(p, 6, 3);
+  EXPECT_DOUBLE_EQ(exact_l, 38.0) << "exact calculus saturates here";
+  EXPECT_GT(approx_l, 38.0);
+  EXPECT_LT(approx_l, 300.0) << "still within double range";
+}
+
+TEST(LengthsApprox, PiBoundMonotoneInBothArguments) {
+  const PPoly p = PPoly::tiny();
+  double prev = 0;
+  for (std::uint64_t n = 2; n <= 12; n += 2) {
+    const double v = pi_bound_log10_approx(p, n, 2);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  prev = 0;
+  for (std::uint64_t m = 1; m <= 8; ++m) {
+    const double v = pi_bound_log10_approx(p, 4, m);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LengthsApprox, PolynomialInLabelLengthNotLabel) {
+  // The headline shape: Π's log grows ~ polylog in the label value (it
+  // depends on |L| only). Doubling m adds far less than doubling the log
+  // of the baseline's exponential count would.
+  const PPoly p = PPoly::tiny();
+  const double m2 = pi_bound_log10_approx(p, 4, 2);
+  const double m4 = pi_bound_log10_approx(p, 4, 4);
+  const double m8 = pi_bound_log10_approx(p, 4, 8);
+  // Successive doublings of m grow Π's log by bounded factors (polynomial),
+  // not by doublings (exponential).
+  EXPECT_LT(m8 / m4, 2.2);
+  EXPECT_LT(m4 / m2, 2.2);
+}
+
+}  // namespace
+}  // namespace asyncrv

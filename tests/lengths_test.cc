@@ -1,0 +1,138 @@
+// The exact length calculus: closed forms, recurrences, monotonicity, the
+// paper's X* <= 2P(k)+1 style bounds, and the faithful Π(n, m) bound.
+#include "traj/lengths.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/traj.h"
+
+namespace asyncrv {
+namespace {
+
+TEST(Lengths, ClosedFormsWithConstantP) {
+  // P(k) = 2 for all k gives hand-computable values.
+  LengthCalculus c(PPoly{0, 0, 2, 2});
+  EXPECT_EQ(c.X(1).to_u64_clamped(), 4u);
+  EXPECT_EQ(c.Q(3).to_u64_clamped(), 12u);          // 4+4+4
+  EXPECT_EQ(c.Yprime(2).to_u64_clamped(), 26u);     // 3*8+2
+  EXPECT_EQ(c.Y(2).to_u64_clamped(), 52u);
+  // Y(1): Q(1)=4, Y'(1)=3*4+2=14, Y(1)=28. Z(2)=Y(1)+Y(2)=28+52=80.
+  EXPECT_EQ(c.Y(1).to_u64_clamped(), 28u);
+  EXPECT_EQ(c.Z(2).to_u64_clamped(), 80u);
+  EXPECT_EQ(c.Aprime(2).to_u64_clamped(), 3u * 80u + 2u);
+  EXPECT_EQ(c.A(2).to_u64_clamped(), 484u);
+  // B(k) = 2|A(4k)| * |Y(k)|.
+  EXPECT_EQ(c.B(1).to_u64_clamped(),
+            (2 * c.A(4).to_u64_clamped()) * c.Y(1).to_u64_clamped());
+  // K(k) = 2(|B(4k)|+|A(8k)|) |X(k)|.
+  EXPECT_EQ(c.K(2).to_u64_clamped(),
+            2 * (c.B(8).to_u64_clamped() + c.A(16).to_u64_clamped()) *
+                c.X(2).to_u64_clamped());
+}
+
+TEST(Lengths, OmegaFormula) {
+  LengthCalculus c(PPoly{0, 0, 2, 2});
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(c.Omega(k).value(),
+              ((SatU128{2 * k - 1} * c.K(k)) * c.X(k)).value());
+  }
+}
+
+TEST(Lengths, PaperUpperBoundsHold) {
+  // The paper proves with slack: |X(k)| <= 2P(k)+1, |Q(k)| <= sum X*, etc.
+  // Our exact values must respect those bounds.
+  LengthCalculus c(PPoly::tiny());
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    EXPECT_LE(c.X(k).value(), (SatU128{2} * c.P(k) + SatU128{1}).value());
+    EXPECT_LE(c.Yprime(k).value(),
+              ((SatU128{2} * c.P(k)) * c.Q(k) + c.P(k) + c.Q(k)).value());
+  }
+}
+
+TEST(Lengths, MonotoneInK) {
+  LengthCalculus c(PPoly::compact());
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_LE(c.X(k).value(), c.X(k + 1).value());
+    EXPECT_LE(c.Q(k).value(), c.Q(k + 1).value());
+    EXPECT_LE(c.Y(k).value(), c.Y(k + 1).value());
+    EXPECT_LE(c.Z(k).value(), c.Z(k + 1).value());
+    EXPECT_LE(c.A(k).value(), c.A(k + 1).value());
+  }
+}
+
+TEST(Lengths, StrictContainmentChain) {
+  // X < Q(k>=2) < Y' < Y < Z(k>=2) < A' < A < B for any real profile: the
+  // containment structure the synchronization argument leans on.
+  LengthCalculus c(PPoly::standard());
+  const std::uint64_t k = 3;
+  EXPECT_LT(c.X(k).value(), c.Q(k).value());
+  EXPECT_LT(c.Q(k).value(), c.Yprime(k).value());
+  EXPECT_LT(c.Yprime(k).value(), c.Y(k).value());
+  EXPECT_LT(c.Y(k).value(), c.Z(k).value());
+  EXPECT_LT(c.Z(k).value(), c.Aprime(k).value());
+  EXPECT_LT(c.Aprime(k).value(), c.A(k).value());
+  EXPECT_LT(c.A(k).value(), c.B(k).value());
+}
+
+TEST(Lengths, KeySynchronizationInequalities) {
+  // The correctness proof uses: Ω(k) contains more X(k) copies than a piece
+  // has traversals (Lemma 3.2/3.3), and K(k) contains more X(k) copies than
+  // a segment has traversals (Lemma 3.6, cases 1-2).
+  LengthCalculus c(PPoly::tiny());
+  for (std::uint64_t k = 2; k <= 5; ++k) {
+    for (std::uint64_t s = 1; s <= k; ++s) {
+      EXPECT_LT(c.piece(k, s).value(), c.omega_reps(k).value())
+          << "piece(" << k << "," << s << ") vs omega_reps";
+    }
+    EXPECT_LT(c.segment(k, 0).value(), c.k_reps(k).value());
+    EXPECT_LT(c.segment(k, 1).value(), c.k_reps(k).value());
+  }
+}
+
+TEST(Lengths, SegmentAndPiece) {
+  LengthCalculus c(PPoly{0, 0, 2, 2});
+  EXPECT_EQ(c.segment(1, 1).value(), (SatU128{2} * c.B(2)).value());
+  EXPECT_EQ(c.segment(1, 0).value(), (SatU128{2} * c.A(4)).value());
+  // piece(k, s): min(k,s) segments, min(k,s)-1 borders.
+  const std::uint64_t k = 2, s = 5;
+  const SatU128 seg =
+      c.segment(k, 0) < c.segment(k, 1) ? c.segment(k, 1) : c.segment(k, 0);
+  EXPECT_EQ(c.piece(k, s).value(), (SatU128{2} * seg + c.K(k)).value());
+}
+
+TEST(Lengths, PieceUpperDominatesPiece) {
+  LengthCalculus c(PPoly::tiny());
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    const std::uint64_t N = 11;  // any N >= min(k, s)
+    EXPECT_LE(c.piece(k, N).value(), c.piece_upper(k, N).value());
+  }
+}
+
+TEST(Lengths, PiBoundIsGalactic) {
+  // The headline reason for the calibrated executable bound: the faithful
+  // Π(2, 1) already exceeds 10^20 even for the tiny profile.
+  LengthCalculus c(PPoly::tiny());
+  const SatU128 pi = pi_bound(c, 2, 1);
+  EXPECT_GT(pi.log10(), 20.0);
+  LengthCalculus cs(PPoly::standard());
+  EXPECT_GE(pi_bound(cs, 4, 2).log10(), pi_bound(cs, 2, 1).log10());
+}
+
+TEST(Lengths, PiBoundMonotone) {
+  LengthCalculus c(PPoly::tiny());
+  EXPECT_LE(pi_bound(c, 2, 1).log10(), pi_bound(c, 3, 1).log10());
+  EXPECT_LE(pi_bound(c, 2, 1).log10(), pi_bound(c, 2, 2).log10());
+}
+
+TEST(Lengths, RepetitionCountsMatchDefinitions) {
+  LengthCalculus c(PPoly{0, 0, 2, 2});
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(c.b_reps(k).value(), (SatU128{2} * c.A(4 * k)).value());
+    EXPECT_EQ(c.k_reps(k).value(),
+              (SatU128{2} * (c.B(4 * k) + c.A(8 * k))).value());
+    EXPECT_EQ(c.omega_reps(k).value(), (SatU128{2 * k - 1} * c.K(k)).value());
+  }
+}
+
+}  // namespace
+}  // namespace asyncrv

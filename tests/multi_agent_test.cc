@@ -1,0 +1,159 @@
+// The k-agent simulator: wake-up semantics, group meetings, sweep ordering
+// and idle handling.
+#include "sim/multi_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "graph/builders.h"
+
+namespace asyncrv {
+namespace {
+
+/// Test logic: walks a scripted port list, records every event.
+class ScriptedLogic final : public AgentLogic {
+ public:
+  ScriptedLogic(const Graph& g, Node start, std::vector<Port> ports)
+      : g_(&g), at_(start), ports_(ports.begin(), ports.end()) {}
+
+  std::optional<Move> next_move() override {
+    if (ports_.empty()) return std::nullopt;
+    const Port p = ports_.front();
+    ports_.pop_front();
+    const Graph::Half h = g_->step(at_, p);
+    Move m{at_, h.to, p, h.port_at_to};
+    at_ = h.to;
+    return m;
+  }
+  void on_meeting(const std::vector<int>& others) override {
+    for (int o : others) met_with.push_back(o);
+    ++meetings;
+  }
+  void on_wake() override { ++wakes; }
+  bool done() const override { return false; }
+
+  int meetings = 0;
+  int wakes = 0;
+  std::vector<int> met_with;
+
+ private:
+  const Graph* g_;
+  Node at_;
+  std::deque<Port> ports_;
+};
+
+TEST(MultiAgentSim, MoverMeetsStationaryAtNode) {
+  Graph g = make_path(3);
+  MultiAgentSim sim(g);
+  ScriptedLogic a(g, 0, {0});  // 0 -> 1
+  ScriptedLogic b(g, 1, {});
+  sim.add_agent(&a, 0, true);
+  sim.add_agent(&b, 1, true);
+  sim.advance(0, kEdgeUnits);
+  EXPECT_EQ(a.meetings, 1);
+  EXPECT_EQ(b.meetings, 1);
+  EXPECT_EQ(a.met_with, std::vector<int>{1});
+  EXPECT_EQ(b.met_with, std::vector<int>{0});
+}
+
+TEST(MultiAgentSim, SweepWakesDormantAgent) {
+  Graph g = make_path(3);
+  MultiAgentSim sim(g);
+  ScriptedLogic a(g, 0, {0, 1});  // 0 -> 1 -> 2 (node 1's port 1 leads to 2)
+  ScriptedLogic b(g, 2, {});
+  sim.add_agent(&a, 0, true);
+  sim.add_agent(&b, 2, false);  // dormant
+  EXPECT_FALSE(sim.awake(1));
+  sim.advance(0, 2 * kEdgeUnits);
+  EXPECT_TRUE(sim.awake(1));
+  EXPECT_EQ(b.wakes, 1);
+  EXPECT_EQ(b.meetings, 1) << "woken agent participates in the meeting";
+}
+
+TEST(MultiAgentSim, DormantAgentsDoNotMove) {
+  Graph g = make_path(3);
+  MultiAgentSim sim(g);
+  ScriptedLogic a(g, 0, {0});
+  sim.add_agent(&a, 0, false);
+  EXPECT_EQ(sim.advance(0, kEdgeUnits), 0);
+  sim.wake(0);
+  EXPECT_EQ(a.wakes, 1);
+  EXPECT_EQ(sim.advance(0, kEdgeUnits), kEdgeUnits);
+}
+
+TEST(MultiAgentSim, GroupMeetingAtSharedPoint) {
+  // Two agents walk to the hub of a star; a third arrives: one grouped
+  // 3-way meeting event for the mover.
+  Graph g = make_star(4);  // hub 0, leaves 1..3
+  ScriptedLogic mover(g, 1, {0});  // leaf 1 -> hub
+  ScriptedLogic walk1(g, 2, {0});
+  ScriptedLogic walk2(g, 3, {0});
+  MultiAgentSim sim(g);
+  sim.add_agent(&mover, 1, true);
+  sim.add_agent(&walk1, 2, true);
+  sim.add_agent(&walk2, 3, true);
+  sim.advance(1, kEdgeUnits);  // walk1 at hub (meets nobody)
+  sim.advance(2, kEdgeUnits);  // walk2 arrives at hub: meets walk1
+  EXPECT_EQ(walk2.meetings, 1);
+  mover.met_with.clear();
+  sim.advance(0, kEdgeUnits);  // mover arrives at hub: 3-way meeting
+  ASSERT_EQ(mover.met_with.size(), 2u);
+  EXPECT_EQ(mover.meetings, 1) << "one grouped event, not two";
+}
+
+TEST(MultiAgentSim, ContactsFireInSweepOrder) {
+  // Two stationary agents inside the same edge; the mover must meet the
+  // nearer one first.
+  Graph g = make_path(3);  // 0-1-2
+  MultiAgentSim sim(g);
+  ScriptedLogic mover(g, 0, {0});
+  ScriptedLogic near_walk(g, 1, {0});     // 1 -> 0, stopped inside
+  ScriptedLogic far_walk(g, 2, {0, 0});   // 2 -> 1 -> towards 0, stopped inside
+  sim.add_agent(&mover, 0, true);
+  sim.add_agent(&near_walk, 1, true);
+  sim.add_agent(&far_walk, 2, true);
+  // Park both walkers inside edge {0,1}: near at 1/4 from node 0, far at
+  // 3/4 from node 0.
+  sim.advance(1, (3 * kEdgeUnits) / 4);
+  sim.advance(2, kEdgeUnits + kEdgeUnits / 4);
+  mover.met_with.clear();
+  sim.advance(0, kEdgeUnits);
+  ASSERT_EQ(mover.met_with.size(), 2u);
+  EXPECT_EQ(mover.met_with[0], 1) << "nearer contact fires first";
+  EXPECT_EQ(mover.met_with[1], 2);
+  EXPECT_EQ(mover.meetings, 2) << "distinct points, distinct events";
+}
+
+TEST(MultiAgentSim, IdleLogicConsumesNothing) {
+  Graph g = make_path(3);
+  MultiAgentSim sim(g);
+  ScriptedLogic a(g, 0, {});
+  sim.add_agent(&a, 0, true);
+  EXPECT_EQ(sim.advance(0, kEdgeUnits), 0);
+}
+
+TEST(MultiAgentSim, TotalTraversalsAggregates) {
+  Graph g = make_ring(4);
+  MultiAgentSim sim(g);
+  ScriptedLogic a(g, 0, {0, 0});
+  ScriptedLogic b(g, 2, {0});
+  sim.add_agent(&a, 0, true);
+  sim.add_agent(&b, 2, true);
+  sim.advance(0, 2 * kEdgeUnits);
+  sim.advance(1, kEdgeUnits / 2);
+  EXPECT_EQ(sim.completed_traversals(0), 2u);
+  EXPECT_EQ(sim.total_traversals(), 3u) << "partial traversal charged";
+}
+
+TEST(MultiAgentSim, RejectsDuplicateStarts) {
+  Graph g = make_path(3);
+  MultiAgentSim sim(g);
+  ScriptedLogic a(g, 0, {});
+  ScriptedLogic b(g, 0, {});
+  sim.add_agent(&a, 0, true);
+  EXPECT_THROW(sim.add_agent(&b, 0, true), std::logic_error);
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,119 @@
+// Exact sweep geometry: canonical positions, progress mapping and contact
+// detection (the no-tunnelling property the meeting model relies on).
+#include "sim/position.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.h"
+
+namespace asyncrv {
+namespace {
+
+Move move_of(const Graph& g, Node from, Port p) {
+  const Graph::Half h = g.step(from, p);
+  return Move{from, h.to, p, h.port_at_to};
+}
+
+TEST(Position, NodeAndEdgeEquality) {
+  EXPECT_EQ(Pos::at_node(3), Pos::at_node(3));
+  EXPECT_FALSE(Pos::at_node(3) == Pos::at_node(4));
+  EXPECT_EQ(Pos::on_edge(1, 100), Pos::on_edge(1, 100));
+  EXPECT_FALSE(Pos::on_edge(1, 100) == Pos::on_edge(1, 101));
+  EXPECT_FALSE(Pos::on_edge(1, 100) == Pos::at_node(1));
+}
+
+TEST(Position, RejectsDegenerateEdgeOffsets) {
+  EXPECT_THROW(Pos::on_edge(0, 0), std::logic_error);
+  EXPECT_THROW(Pos::on_edge(0, kEdgeUnits), std::logic_error);
+}
+
+TEST(Position, PosOnMoveEndpointsAreNodes) {
+  Graph g = make_path(3);
+  const Move m = move_of(g, 0, 0);
+  EXPECT_EQ(pos_on_move(g, m, 0), Pos::at_node(0));
+  EXPECT_EQ(pos_on_move(g, m, kEdgeUnits), Pos::at_node(m.to));
+  const Pos mid = pos_on_move(g, m, kEdgeUnits / 2);
+  EXPECT_EQ(mid.kind, Pos::Kind::Edge);
+}
+
+TEST(Position, CanonicalOffsetIsDirectionIndependent) {
+  // The same physical point must compare equal regardless of which
+  // direction the edge is being traversed in.
+  Graph g = make_ring(4);
+  const Move fwd = move_of(g, 1, 1);  // some edge {1, x}
+  const Node other = fwd.to;
+  const Move bwd = move_of(g, other, fwd.port_in);
+  ASSERT_EQ(bwd.to, 1u);
+  const std::int64_t q = kEdgeUnits / 4;
+  EXPECT_EQ(pos_on_move(g, fwd, q), pos_on_move(g, bwd, kEdgeUnits - q));
+}
+
+TEST(Position, ProgressOfRoundTrips) {
+  Graph g = make_grid(2, 2);
+  const Move m = move_of(g, 0, 0);
+  for (std::int64_t prog : {std::int64_t{0}, kEdgeUnits / 3, kEdgeUnits}) {
+    const Pos p = pos_on_move(g, m, prog);
+    const auto back = progress_of(g, m, p);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, prog);
+  }
+}
+
+TEST(Position, ProgressOfUnrelatedPoints) {
+  Graph g = make_star(4);  // hub 0, leaves 1..3
+  const Move m = move_of(g, 0, 0);
+  EXPECT_FALSE(progress_of(g, m, Pos::at_node(3)).has_value());
+  // A point on a different edge.
+  const Move m2 = move_of(g, 0, 2);
+  const Pos p2 = pos_on_move(g, m2, 5);
+  EXPECT_FALSE(progress_of(g, m, p2).has_value());
+}
+
+TEST(Position, SweepContactInterior) {
+  Graph g = make_path(2);
+  const Move m = move_of(g, 0, 0);
+  const Pos target = pos_on_move(g, m, 700);
+  EXPECT_TRUE(sweep_contact(g, m, 0, 1000, target).has_value());
+  EXPECT_EQ(*sweep_contact(g, m, 0, 1000, target), 700);
+  EXPECT_FALSE(sweep_contact(g, m, 0, 699, target).has_value());
+  EXPECT_TRUE(sweep_contact(g, m, 700, 900, target).has_value()) << "inclusive";
+  // Backward sweep detects too.
+  EXPECT_TRUE(sweep_contact(g, m, 1000, 500, target).has_value());
+}
+
+TEST(Position, SweepContactNodes) {
+  Graph g = make_path(3);
+  const Move m = move_of(g, 1, g.degree(1) - 1);
+  EXPECT_TRUE(sweep_contact(g, m, 0, 10, Pos::at_node(1)).has_value())
+      << "leaving a node sweeps the node itself";
+  EXPECT_TRUE(
+      sweep_contact(g, m, kEdgeUnits - 5, kEdgeUnits, Pos::at_node(m.to)).has_value());
+  EXPECT_FALSE(sweep_contact(g, m, 1, 10, Pos::at_node(m.to)).has_value());
+}
+
+TEST(Position, NoTunnelling) {
+  // Whatever the step size, a sweep over a stationary point registers: a
+  // full-edge jump cannot skip it.
+  Graph g = make_path(2);
+  const Move m = move_of(g, 0, 0);
+  const Pos target = pos_on_move(g, m, 1);
+  EXPECT_TRUE(sweep_contact(g, m, 0, kEdgeUnits, target).has_value());
+}
+
+TEST(Position, OppositeDirectionSweepSeesSamePoint) {
+  Graph g = make_ring(5);
+  const Move fwd = move_of(g, 2, 0);
+  const Move bwd = move_of(g, fwd.to, fwd.port_in);
+  const Pos p = pos_on_move(g, fwd, kEdgeUnits / 3);
+  const auto c = sweep_contact(g, bwd, 0, kEdgeUnits, p);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, kEdgeUnits - kEdgeUnits / 3);
+}
+
+TEST(Position, StrRendering) {
+  EXPECT_EQ(Pos::at_node(5).str(), "node(5)");
+  EXPECT_NE(Pos::on_edge(2, 17).str().find("edge(2@17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,73 @@
+// Empirical check of the synchronization interlock behind Theorem 3.1
+// (Lemma 3.2 shape): on every pre-meeting prefix, no agent is more than
+// n + l fences ahead of the other's completed pieces.
+#include "rv/sync_check.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builders.h"
+#include "graph/catalog.h"
+
+namespace asyncrv {
+namespace {
+
+TrajKit& kit() {
+  static TrajKit k(PPoly::tiny(), 0x5eed0001);
+  return k;
+}
+
+TEST(SyncCheck, InterlockHoldsAcrossBatteryOnRing) {
+  Graph g = make_ring(4);
+  for (auto& adv : adversary_battery(0x57ac)) {
+    const SyncCheckResult res =
+        run_sync_check(g, kit(), 0, 6, 2, 11, *adv, 10'000'000);
+    EXPECT_TRUE(res.met);
+    EXPECT_TRUE(res.interlock_held) << res.violation;
+  }
+}
+
+TEST(SyncCheck, InterlockHoldsOnSmallCatalog) {
+  for (const auto& [name, g] : small_catalog()) {
+    if (g.size() > 6) continue;
+    auto adv = make_random_adversary(0x13, 500);
+    const SyncCheckResult res =
+        run_sync_check(g, kit(), 0, 3, g.size() - 1, 4, *adv, 10'000'000);
+    EXPECT_TRUE(res.met) << name;
+    EXPECT_TRUE(res.interlock_held) << name << ": " << res.violation;
+  }
+}
+
+TEST(SyncCheck, StalledAgentGetsPushedOrMeetingHappens) {
+  // With one agent stalled for a long time, the runner's fences pile up —
+  // but the interlock says the lead can only grow so far before the
+  // meeting (the stalled agent, making no progress, must be met).
+  Graph g = make_path(3);
+  auto adv = make_stall_adversary(1, 1'000'000);
+  const SyncCheckResult res = run_sync_check(g, kit(), 0, 2, 2, 5, *adv, 10'000'000);
+  EXPECT_TRUE(res.met);
+  EXPECT_TRUE(res.interlock_held) << res.violation;
+}
+
+TEST(SyncCheck, MilestonesAreConsistent) {
+  Graph g = make_ring(5);
+  auto adv = make_burst_adversary(9);
+  const SyncCheckResult res = run_sync_check(g, kit(), 0, 9, 3, 14, *adv, 10'000'000);
+  ASSERT_TRUE(res.met);
+  // Pieces and fences are completed in lockstep per agent (every piece ends
+  // with its fence).
+  EXPECT_EQ(res.fences_a, res.pieces_a);
+  EXPECT_EQ(res.fences_b, res.pieces_b);
+  EXPECT_GT(res.cost, 0u);
+  EXPECT_LE(res.max_fence_lead, g.size() + 2 * 4 + 2);
+}
+
+TEST(SyncCheck, ReportsNoMeetingOnTinyBudget) {
+  Graph g = make_ring(6);
+  auto adv = make_fair_adversary();
+  // Budget of one traversal: the agents start 3 apart, so no meeting fits.
+  const SyncCheckResult res = run_sync_check(g, kit(), 0, 1, 3, 2, *adv, 1);
+  EXPECT_FALSE(res.met);
+}
+
+}  // namespace
+}  // namespace asyncrv

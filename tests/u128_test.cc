@@ -1,0 +1,81 @@
+#include "util/u128.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace asyncrv {
+namespace {
+
+TEST(U128, DecimalRendering) {
+  EXPECT_EQ(u128_to_string(0), "0");
+  EXPECT_EQ(u128_to_string(1), "1");
+  EXPECT_EQ(u128_to_string(1234567890123456789ULL), "1234567890123456789");
+  // 2^64 = 18446744073709551616
+  const u128 two64 = u128{1} << 64;
+  EXPECT_EQ(u128_to_string(two64), "18446744073709551616");
+  EXPECT_EQ(u128_to_string(two64 * 10 + 7), "184467440737095516167");
+}
+
+TEST(SatU128, BasicArithmetic) {
+  SatU128 a{7};
+  SatU128 b{6};
+  EXPECT_EQ((a + b).to_u64_clamped(), 13u);
+  EXPECT_EQ((a * b).to_u64_clamped(), 42u);
+  EXPECT_FALSE((a * b).is_saturated());
+  EXPECT_EQ((SatU128{0} * SatU128{1234}).to_u64_clamped(), 0u);
+}
+
+TEST(SatU128, AdditionOverflowSaturates) {
+  SatU128 big = SatU128::from_raw(~u128{0});
+  EXPECT_FALSE(big.is_saturated());  // max value itself is representable
+  SatU128 s = big + SatU128{1};
+  EXPECT_TRUE(s.is_saturated());
+  // Saturation is sticky.
+  EXPECT_TRUE((s + SatU128{0}).is_saturated());
+  EXPECT_TRUE((s * SatU128{1}).is_saturated());
+}
+
+TEST(SatU128, MultiplicationOverflowSaturates) {
+  SatU128 two64 = SatU128::from_raw(u128{1} << 64);
+  EXPECT_FALSE((two64 * SatU128{2}).is_saturated());
+  EXPECT_TRUE((two64 * two64).is_saturated());
+  // Multiplying saturated by zero is still zero (annihilator).
+  EXPECT_EQ((SatU128::saturated() * SatU128{0}).to_u64_clamped(), 0u);
+}
+
+TEST(SatU128, Ordering) {
+  EXPECT_LT(SatU128{3}, SatU128{4});
+  EXPECT_LE(SatU128{4}, SatU128{4});
+  EXPECT_EQ(SatU128{4}, SatU128{4});
+  EXPECT_FALSE(SatU128{4} < SatU128{4});
+}
+
+TEST(SatU128, CompoundAssignment) {
+  SatU128 acc{1};
+  for (int i = 2; i <= 20; ++i) acc *= SatU128{static_cast<std::uint64_t>(i)};
+  // 20! = 2432902008176640000
+  EXPECT_EQ(acc.to_u64_clamped(), 2432902008176640000ULL);
+  acc += SatU128{5};
+  EXPECT_EQ(acc.to_u64_clamped(), 2432902008176640005ULL);
+}
+
+TEST(SatU128, Log10) {
+  EXPECT_DOUBLE_EQ(SatU128{0}.log10(), 0.0);
+  EXPECT_NEAR(SatU128{1000}.log10(), 3.0, 1e-9);
+  EXPECT_NEAR(SatU128::from_raw(u128{1} << 100).log10(), 100 * 0.30102999566, 1e-6);
+  EXPECT_DOUBLE_EQ(SatU128::saturated().log10(), 38.0);
+}
+
+TEST(SatU128, ClampedConversion) {
+  EXPECT_EQ(SatU128{42}.to_u64_clamped(), 42u);
+  EXPECT_EQ(SatU128::from_raw(u128{1} << 70).to_u64_clamped(), ~std::uint64_t{0});
+}
+
+TEST(SatU128, StringRendering) {
+  EXPECT_EQ(SatU128{12345}.str(), "12345");
+  EXPECT_EQ(SatU128::saturated().str(), ">= 2^128");
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,79 @@
+// Exhaustive universality certification of the substituted exploration
+// sequence on tiny graphs (DESIGN.md §2.1): the default seeds are certified
+// true UXS for every port-numbered graph with at most 4 nodes.
+#include "explore/uxs_search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/coverage.h"
+
+namespace asyncrv {
+namespace {
+
+TEST(UxsSearch, EnumerationCountsForTwoAndThreeNodes) {
+  // n=2: a single edge, one port numbering.
+  EXPECT_EQ(enumerate_port_numbered_graphs(2).size(), 1u);
+  // n=3: connected graphs are the path (3 labelings) and the triangle.
+  // Path a-b-c: center has 2 ports => 2 numberings each, leaves 1 => 2 per
+  // labeling, 3 labelings => 6; triangle: every node has 2 ports => 2^3 = 8.
+  EXPECT_EQ(enumerate_port_numbered_graphs(3).size(), 6u + 8u);
+}
+
+TEST(UxsSearch, EnumeratedGraphsAreValidAndDistinct) {
+  const auto graphs = enumerate_port_numbered_graphs(3);
+  std::set<std::string> signatures;
+  for (const Graph& g : graphs) {
+    // Validity: port inverse property.
+    for (Node v = 0; v < g.size(); ++v) {
+      for (Port p = 0; p < g.degree(v); ++p) {
+        const Graph::Half h = g.step(v, p);
+        ASSERT_EQ(g.step(h.to, h.port_at_to).to, v);
+      }
+    }
+    // Distinctness as port-numbered objects.
+    std::string sig;
+    for (Node v = 0; v < g.size(); ++v) {
+      for (Port p = 0; p < g.degree(v); ++p) {
+        sig += std::to_string(v) + ":" + std::to_string(p) + "->" +
+               std::to_string(g.step(v, p).to) + ";";
+      }
+    }
+    EXPECT_TRUE(signatures.insert(sig).second) << "duplicate instance";
+  }
+}
+
+TEST(UxsSearch, DefaultSeedsAreCertifiedUniversalUpToFourNodes) {
+  for (const PPoly& profile : {PPoly::standard(), PPoly::compact(), PPoly::tiny()}) {
+    Uxs uxs(profile, 0x5eed0001);
+    const UniversalityCertificate cert = certify_uxs(uxs, 4);
+    EXPECT_TRUE(cert.universal) << cert.first_failure;
+    EXPECT_GT(cert.graphs_checked, 100u) << "the enumeration must be substantial";
+  }
+}
+
+TEST(UxsSearch, TooShortSequencesFailCertification) {
+  // P(k) = 1 cannot explore anything beyond a single edge.
+  Uxs uxs(PPoly{0, 0, 1, 1}, 0x5eed0001);
+  const UniversalityCertificate cert = certify_uxs(uxs, 3);
+  EXPECT_FALSE(cert.universal);
+  EXPECT_FALSE(cert.first_failure.empty());
+}
+
+TEST(UxsSearch, SequenceExploresAgreesWithCoverage) {
+  Uxs uxs(PPoly::tiny(), 0x5eed0001);
+  for (const Graph& g : enumerate_port_numbered_graphs(3)) {
+    const bool a = sequence_explores(g, uxs, uxs.length(3));
+    const bool b = integral_from_all_starts(g, uxs, 3);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(UxsSearch, RejectsOutOfRangeSizes) {
+  EXPECT_THROW(enumerate_port_numbered_graphs(1), std::logic_error);
+  EXPECT_THROW(enumerate_port_numbered_graphs(6), std::logic_error);
+}
+
+}  // namespace
+}  // namespace asyncrv
