@@ -9,18 +9,18 @@
 //      Π grows only with log L;
 //  (2) measured meeting costs of both algorithms under the same adversary,
 //      where the baseline is additionally GIVEN the graph size n (the new
-//      algorithm needs no such knowledge).
+//      algorithm needs no such knowledge). Both arms of every label pair
+//      are ScenarioSpecs (RouteAlgo::Baseline vs RouteAlgo::RvAsynchPoly)
+//      executed in one parallel ScenarioRunner batch.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "graph/builders.h"
 #include "rv/baseline.h"
 #include "rv/label.h"
 #include "rv/pi_bound.h"
+#include "runner/runner.h"
 #include "traj/lengths_approx.h"
-#include "rv/rv_route.h"
-#include "sim/adversary.h"
-#include "sim/two_agent.h"
+#include "traj/traj.h"
 
 int main() {
   using namespace asyncrv;
@@ -50,35 +50,42 @@ int main() {
                "schedule:\n";
   std::cout << std::setw(10) << "labels" << std::setw(16) << "baseline"
             << std::setw(16) << "RV-asynch-poly\n";
-  const Graph g = make_ring(4);
-  for (auto [la, lb] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
-           {1, 2}, {3, 5}, {6, 11}, {13, 22}}) {
-    // Baseline: needs known n; partner stalled => the mover must grind
-    // through its exponential schedule until it happens to sweep the other.
-    auto base_a = make_walker_route(
-        g, 0, [&](Walker& w) { return baseline_route(w, kit, g.size(), la); });
-    auto base_b = make_walker_route(
-        g, 2, [&](Walker& w) { return baseline_route(w, kit, g.size(), lb); });
-    TwoAgentSim bsim(g, base_a, 0, base_b, 2);
-    auto badv = make_stall_adversary(1, std::uint64_t{1} << 62);
-    const RendezvousResult bres = bsim.run(*badv, 100'000'000);
 
-    auto rv_a = make_walker_route(
-        g, 0, [&](Walker& w) { return rv_route(w, kit, la, nullptr); });
-    auto rv_b = make_walker_route(
-        g, 2, [&](Walker& w) { return rv_route(w, kit, lb, nullptr); });
-    TwoAgentSim rsim(g, rv_a, 0, rv_b, 2);
-    auto radv = make_stall_adversary(1, std::uint64_t{1} << 62);
-    const RendezvousResult rres = rsim.run(*radv, 100'000'000);
+  // Partner stalled (practically forever) => the mover must grind through
+  // its schedule until it happens to sweep the other agent.
+  const std::string stall_forever =
+      "stall:1:" + std::to_string(std::uint64_t{1} << 62);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs = {
+      {1, 2}, {3, 5}, {6, 11}, {13, 22}};
 
-    std::cout << std::setw(6) << la << "," << std::setw(3) << lb << std::setw(16)
-              << (bres.met ? std::to_string(bres.cost()) : "no-meet")
-              << std::setw(16)
-              << (rres.met ? std::to_string(rres.cost()) : "no-meet") << "\n";
+  std::vector<runner::ScenarioSpec> specs;
+  for (const auto& [la, lb] : pairs) {
+    for (const runner::RouteAlgo algo :
+         {runner::RouteAlgo::Baseline, runner::RouteAlgo::RvAsynchPoly}) {
+      runner::ScenarioSpec spec;
+      spec.graph = "ring:4";
+      spec.adversary = stall_forever;
+      spec.algo = algo;
+      spec.labels = {la, lb};
+      spec.starts = {0, 2};
+      spec.budget = 100'000'000;
+      specs.push_back(std::move(spec));
+    }
+  }
+  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const runner::ScenarioOutcome& base = report.outcomes[2 * i];
+    const runner::ScenarioOutcome& rv = report.outcomes[2 * i + 1];
+    std::cout << std::setw(6) << pairs[i].first << "," << std::setw(3)
+              << pairs[i].second << std::setw(16)
+              << (base.ok ? std::to_string(base.cost) : "no-meet")
+              << std::setw(16) << (rv.ok ? std::to_string(rv.cost) : "no-meet")
+              << "\n";
   }
   std::cout << "\nBoth meet under this schedule; the separation is in the "
                "worst-case guarantee above, where the baseline must be "
                "prepared to walk (2P(n)+1)^L full explorations while Pi "
                "depends only on |L| = log L.\n";
-  return 0;
+  return report.errored == 0 ? 0 : 1;
 }

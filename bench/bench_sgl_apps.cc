@@ -3,41 +3,40 @@
 // size and the smallest label length.
 //
 // Sweeps team size k and graph size n, verifying all four application
-// outputs and printing total cost, the smallest agent's ESST phase (the
-// certified size bound) and the per-agent cost breakdown shape.
+// outputs and printing total cost. All sweep cells are SGL ScenarioSpecs
+// executed in one parallel ScenarioRunner batch.
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "graph/builders.h"
-#include "sgl/apps.h"
+#include "runner/runner.h"
 
 namespace {
 
 using namespace asyncrv;
 
-std::vector<SglAgentSpec> team(const std::vector<std::uint64_t>& labels) {
-  std::vector<SglAgentSpec> specs;
-  Node start = 0;
-  for (std::uint64_t lab : labels) {
-    SglAgentSpec s;
-    s.start = start++;
-    s.label = lab;
-    s.value = "val" + std::to_string(lab);
-    specs.push_back(s);
-  }
-  return specs;
-}
-
-bool verify(const SglSolveOutcome& out, const std::vector<SglAgentSpec>& specs) {
-  if (!out.run.completed) return false;
+bool verify(const runner::ScenarioOutcome& out,
+            const std::vector<std::uint64_t>& labels) {
+  if (!out.ok) return false;
   std::uint64_t min_label = ~std::uint64_t{0};
-  for (const auto& s : specs) min_label = std::min(min_label, s.label);
-  for (const auto& s : specs) {
-    if (out.apps.team_size.at(s.label) != specs.size()) return false;
-    if (out.apps.leader.at(s.label) != min_label) return false;
-    if (out.apps.gossip.at(s.label).size() != specs.size()) return false;
+  for (std::uint64_t lab : labels) min_label = std::min(min_label, lab);
+  for (std::uint64_t lab : labels) {
+    if (out.sgl_apps.team_size.at(lab) != labels.size()) return false;
+    if (out.sgl_apps.leader.at(lab) != min_label) return false;
+    if (out.sgl_apps.gossip.at(lab).size() != labels.size()) return false;
   }
   return true;
+}
+
+runner::ScenarioSpec sgl_spec(const std::string& graph,
+                              std::vector<std::uint64_t> labels,
+                              std::uint64_t seed) {
+  runner::ScenarioSpec spec;
+  spec.kind = runner::ScenarioKind::Sgl;
+  spec.graph = graph;
+  spec.labels = std::move(labels);
+  spec.budget = 600'000'000;
+  spec.seed = seed;
+  return spec;
 }
 
 }  // namespace
@@ -48,50 +47,56 @@ int main() {
                 "Theorem 4.1: SGL + team size / leader / renaming / gossip",
                 "cost vs team size k and graph size n; outputs verified");
 
-  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
+  const std::vector<std::uint64_t> label_pool = {9, 4, 17, 6, 23};
+
+  // One batch for all three sweeps; section boundaries are index ranges.
+  std::vector<runner::ScenarioSpec> specs;
+  for (std::size_t k = 2; k <= 5; ++k) {
+    specs.push_back(sgl_spec(
+        "ring:5", {label_pool.begin(), label_pool.begin() + k}, 0xE8 + k));
+  }
+  for (Node n : {Node{3}, Node{4}, Node{5}, Node{6}}) {
+    specs.push_back(sgl_spec("ring:" + std::to_string(n), {9, 4, 17}, 0xE8));
+  }
+  specs.push_back(sgl_spec("star:5", {40, 12, 33, 7}, 0xE81));
+
+  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+  std::size_t i = 0;
 
   std::cout << "(a) cost vs team size k on ring(5):\n";
   std::cout << std::setw(4) << "k" << std::setw(14) << "total cost"
             << std::setw(12) << "verified\n";
-  const std::vector<std::uint64_t> label_pool = {9, 4, 17, 6, 23};
-  for (std::size_t k = 2; k <= 5; ++k) {
-    const Graph g = make_ring(5);
-    auto specs = team({label_pool.begin(), label_pool.begin() + k});
-    const SglSolveOutcome out =
-        solve_all_problems(g, kit, SglConfig{}, specs, 600'000'000, 0xE8 + k);
-    std::cout << std::setw(4) << k << std::setw(14) << out.run.total_traversals
-              << std::setw(12) << (verify(out, specs) ? "yes" : "NO") << "\n";
-    if (!verify(out, specs)) return 1;
+  for (std::size_t k = 2; k <= 5; ++k, ++i) {
+    const runner::ScenarioOutcome& out = report.outcomes[i];
+    const bool good = verify(out, report.specs[i].labels);
+    std::cout << std::setw(4) << k << std::setw(14) << out.cost
+              << std::setw(12) << (good ? "yes" : "NO") << "\n";
+    if (!good) return 1;
   }
 
   std::cout << "\n(b) cost vs graph size n, k = 3 agents:\n";
   std::cout << std::setw(10) << "graph" << std::setw(6) << "n" << std::setw(14)
             << "total cost" << std::setw(12) << "verified\n";
   for (Node n : {Node{3}, Node{4}, Node{5}, Node{6}}) {
-    const Graph g = make_ring(n);
-    auto specs = team({9, 4, 17});
-    const SglSolveOutcome out =
-        solve_all_problems(g, kit, SglConfig{}, specs, 600'000'000, 0xE8);
+    const runner::ScenarioOutcome& out = report.outcomes[i];
+    const bool good = verify(out, report.specs[i].labels);
     std::cout << std::setw(10) << "ring" << std::setw(6) << n << std::setw(14)
-              << out.run.total_traversals << std::setw(12)
-              << (verify(out, specs) ? "yes" : "NO") << "\n";
-    if (!verify(out, specs)) return 1;
+              << out.cost << std::setw(12) << (good ? "yes" : "NO") << "\n";
+    if (!good) return 1;
+    ++i;
   }
 
   std::cout << "\n(c) renaming output across a 4-agent run on star(5):\n";
   {
-    const Graph g = make_star(5);
-    auto specs = team({40, 12, 33, 7});
-    const SglSolveOutcome out =
-        solve_all_problems(g, kit, SglConfig{}, specs, 600'000'000, 0xE81);
-    if (!verify(out, specs)) return 1;
+    const runner::ScenarioOutcome& out = report.outcomes[i];
+    if (!verify(out, report.specs[i].labels)) return 1;
     std::cout << std::setw(10) << "label" << std::setw(10) << "new name"
               << std::setw(12) << "leader" << std::setw(12) << "team size\n";
-    for (const auto& s : specs) {
-      std::cout << std::setw(10) << s.label << std::setw(10)
-                << out.apps.new_name.at(s.label) << std::setw(12)
-                << out.apps.leader.at(s.label) << std::setw(12)
-                << out.apps.team_size.at(s.label) << "\n";
+    for (std::uint64_t lab : report.specs[i].labels) {
+      std::cout << std::setw(10) << lab << std::setw(10)
+                << out.sgl_apps.new_name.at(lab) << std::setw(12)
+                << out.sgl_apps.leader.at(lab) << std::setw(12)
+                << out.sgl_apps.team_size.at(lab) << "\n";
     }
   }
   std::cout << "\nAll four problems solved with exact outputs — Theorem 4.1 "

@@ -3,52 +3,57 @@
 // The asynchronous adversary controls speeds, stalls, bursts and even
 // back-and-forth motion inside edges. This example pits the same pair of
 // agents against every strategy in the battery, on a graph that is hard to
-// cover (a lollipop), and prints per-strategy costs plus the faithful
-// worst-case bound Π(n, m) of Theorem 3.1 for contrast.
+// cover (a lollipop), as one parallel ScenarioRunner batch, and prints
+// per-strategy costs plus the faithful worst-case bound Π(n, m) of
+// Theorem 3.1 for contrast.
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
 
-#include "graph/builders.h"
+#include "runner/registry.h"
+#include "runner/runner.h"
 #include "rv/label.h"
 #include "rv/pi_bound.h"
 #include "traj/lengths_approx.h"
-#include "rv/rv_route.h"
-#include "sim/adversary.h"
-#include "sim/two_agent.h"
+#include "traj/traj.h"
 
 int main() {
   using namespace asyncrv;
-  const Graph g = make_lollipop(7, 4);
-  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
+  const std::string graph_id = "lollipop:7:4";
   const std::uint64_t label_a = 9, label_b = 14;
   const auto m = static_cast<std::uint64_t>(
       std::min(label_length(label_a), label_length(label_b)));
 
+  std::vector<runner::ScenarioSpec> specs;
+  for (const std::string& adv : adversary_battery_names()) {
+    runner::ScenarioSpec spec;
+    spec.graph = graph_id;
+    spec.adversary = adv;
+    spec.seed = runner::battery_seed(adv, 99);
+    spec.labels = {label_a, label_b};
+    spec.starts = {0, 6};
+    spec.budget = 50'000'000;
+    specs.push_back(std::move(spec));
+  }
+  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+
+  const Graph g = runner::make_graph(graph_id);
   std::cout << "Adversary ablation on a lollipop graph (" << g.summary()
             << "), labels (" << label_a << ", " << label_b << ")\n\n";
-
   std::cout << std::setw(14) << "adversary" << std::setw(12) << "cost"
             << std::setw(10) << "agent a" << std::setw(10) << "agent b"
             << "\n";
-  auto names = adversary_battery_names();
-  std::size_t ai = 0;
   std::uint64_t worst = 0;
-  for (auto& adv : adversary_battery(/*seed=*/99)) {
-    auto route_a = make_walker_route(
-        g, 0, [&](Walker& w) { return rv_route(w, kit, label_a, nullptr); });
-    auto route_b = make_walker_route(
-        g, 6, [&](Walker& w) { return rv_route(w, kit, label_b, nullptr); });
-    TwoAgentSim sim(g, route_a, 0, route_b, 6);
-    const RendezvousResult res = sim.run(*adv, 50'000'000);
-    std::cout << std::setw(14) << names[ai] << std::setw(12)
-              << (res.met ? std::to_string(res.cost()) : "no-meet")
-              << std::setw(10) << res.traversals_a << std::setw(10)
-              << res.traversals_b << "\n";
-    if (res.met && res.cost() > worst) worst = res.cost();
-    ++ai;
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const runner::ScenarioOutcome& out = report.outcomes[i];
+    std::cout << std::setw(14) << report.specs[i].adversary << std::setw(12)
+              << (out.ok ? std::to_string(out.cost) : "no-meet")
+              << std::setw(10) << out.rv.traversals_a << std::setw(10)
+              << out.rv.traversals_b << "\n";
+    if (out.ok && out.cost > worst) worst = out.cost;
   }
 
+  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
   const CalibratedPi pi_hat;
   std::cout << "\nworst measured cost        : " << worst << "\n";
   std::cout << "calibrated bound Pi^(n,m)  : " << pi_hat(g.size(), m) << "\n";
@@ -59,5 +64,5 @@ int main() {
   std::cout << "\nThe gap between measured costs and the faithful bound is\n"
                "why the executable harness uses the calibrated bound — see\n"
                "DESIGN.md §2.\n";
-  return 0;
+  return report.errored == 0 ? 0 : 1;
 }

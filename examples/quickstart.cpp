@@ -2,50 +2,42 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 //
 // Two agents with labels 5 and 12 are dropped on a ring of 6 nodes they
 // know nothing about. Each follows Algorithm RV-asynch-poly; an adversary
-// fully controls their relative speeds. The simulation reports where they
-// met and what it cost.
+// fully controls their relative speeds. The whole instance is one
+// ScenarioSpec — a plain value describing graph, adversary, labels, starts
+// and budget — and run_scenario executes it (ScenarioRunner runs whole
+// batches of these in parallel; see ring_rendezvous.cpp).
 #include <cstdint>
 #include <iostream>
 
-#include "graph/builders.h"
-#include "rv/rv_route.h"
-#include "sim/adversary.h"
-#include "sim/two_agent.h"
+#include "runner/scenario.h"
 
 int main() {
   using namespace asyncrv;
 
-  // The unknown network (the agents never see node ids, only local ports).
-  const Graph g = make_ring(6);
+  runner::ScenarioSpec spec;
+  spec.graph = "ring:6";        // the unknown network (agents only see ports)
+  spec.adversary = "random";    // random relative speeds, arbitrary quanta
+  spec.seed = 42;
+  spec.labels = {5, 12};        // each agent knows only its own label
+  spec.starts = {0, 3};
+  spec.budget = 5'000'000;
 
-  // The exploration-sequence kit: P(k) and the seeded UXS (see DESIGN.md).
-  const TrajKit kit(PPoly::tiny(), /*seed=*/0x5eed0001);
+  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  if (!out.error.empty()) {
+    std::cerr << "error: " << out.error << "\n";
+    return 1;
+  }
 
-  // Each agent knows only its own label.
-  const std::uint64_t label_a = 5, label_b = 12;
-
-  auto route_a = make_walker_route(
-      g, /*start=*/0, [&](Walker& w) { return rv_route(w, kit, label_a, nullptr); });
-  auto route_b = make_walker_route(
-      g, /*start=*/3, [&](Walker& w) { return rv_route(w, kit, label_b, nullptr); });
-
-  TwoAgentSim sim(g, route_a, 0, route_b, 3);
-
-  // The adversary: random relative speeds, arbitrary per-step quanta.
-  auto adversary = make_random_adversary(/*seed=*/42, /*bias_permille=*/500);
-
-  const RendezvousResult res = sim.run(*adversary, /*max_total_traversals=*/5'000'000);
-
-  std::cout << "graph: " << g.summary() << "\n";
-  std::cout << "labels: " << label_a << " and " << label_b << "\n";
-  if (res.met) {
-    std::cout << "met at " << res.meeting_point.str() << "\n";
-    std::cout << "cost: " << res.cost() << " edge traversals (agent a: "
-              << res.traversals_a << ", agent b: " << res.traversals_b << ")\n";
+  std::cout << "scenario: " << spec.display() << "\n";
+  if (out.ok) {
+    std::cout << "met at " << out.rv.meeting_point.str() << "\n";
+    std::cout << "cost: " << out.cost << " edge traversals (agent a: "
+              << out.rv.traversals_a << ", agent b: " << out.rv.traversals_b
+              << ")\n";
   } else {
     std::cout << "no meeting within budget (this should never happen)\n";
     return 1;

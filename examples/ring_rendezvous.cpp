@@ -3,46 +3,50 @@
 // The paper's motivating setting — two software agents injected into a
 // network whose nodes expose no identities, moving at speeds dictated by
 // network congestion (the adversary). This example sweeps ring sizes and
-// adversary strategies and prints a cost table, illustrating the paper's
+// adversary strategies as one ScenarioRunner batch (executed across a
+// thread pool) and prints a cost table, illustrating the paper's
 // polynomial-cost guarantee in the scenario its introduction motivates.
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
 
-#include "graph/builders.h"
-#include "rv/label.h"
-#include "rv/rv_route.h"
-#include "sim/adversary.h"
-#include "sim/two_agent.h"
+#include "runner/registry.h"
+#include "runner/runner.h"
 
 int main() {
   using namespace asyncrv;
-  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
   const std::uint64_t label_a = 6, label_b = 17;
+
+  std::vector<runner::ScenarioSpec> specs;
+  const auto names = adversary_battery_names();
+  for (Node n : {Node{4}, Node{6}, Node{8}, Node{10}}) {
+    for (const std::string& adv : names) {
+      runner::ScenarioSpec spec;
+      spec.graph = "ring:" + std::to_string(n);
+      spec.adversary = adv;
+      spec.seed = runner::battery_seed(adv, 2024);
+      spec.labels = {label_a, label_b};
+      spec.starts = {0, n / 2};
+      spec.budget = 20'000'000;
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
 
   std::cout << "Asynchronous rendezvous on anonymous rings, labels ("
             << label_a << ", " << label_b << ")\n";
   std::cout << std::setw(8) << "ring n" << std::setw(14) << "adversary"
             << std::setw(12) << "cost" << std::setw(18) << "meeting point\n";
-
+  std::size_t i = 0;
   for (Node n : {Node{4}, Node{6}, Node{8}, Node{10}}) {
-    const Graph g = make_ring(n);
-    auto names = adversary_battery_names();
-    std::size_t ai = 0;
-    for (auto& adv : adversary_battery(/*seed=*/2024)) {
-      auto route_a = make_walker_route(
-          g, 0, [&](Walker& w) { return rv_route(w, kit, label_a, nullptr); });
-      auto route_b = make_walker_route(g, n / 2, [&](Walker& w) {
-        return rv_route(w, kit, label_b, nullptr);
-      });
-      TwoAgentSim sim(g, route_a, 0, route_b, n / 2);
-      const RendezvousResult res = sim.run(*adv, 20'000'000);
-      std::cout << std::setw(8) << n << std::setw(14) << names[ai]
-                << std::setw(12) << (res.met ? std::to_string(res.cost()) : "-")
-                << std::setw(18) << (res.met ? res.meeting_point.str() : "none")
-                << "\n";
-      ++ai;
+    for (const std::string& adv : names) {
+      const runner::ScenarioOutcome& out = report.outcomes[i++];
+      std::cout << std::setw(8) << n << std::setw(14) << adv << std::setw(12)
+                << (out.ok ? std::to_string(out.cost) : "-") << std::setw(18)
+                << (out.ok ? out.rv.meeting_point.str() : "none") << "\n";
     }
   }
-  return 0;
+  std::cout << "\n" << report.summary() << "\n";
+  return report.errored == 0 ? 0 : 1;
 }

@@ -12,80 +12,78 @@
 //              phase | skew                              (default random)
 //   seed       adversary seed                            (default 42)
 //
-// Prints the instance (including its DOT rendering), runs the rendezvous,
-// and reports the traced schedule statistics.
+// The instance is assembled into a ScenarioSpec (with schedule recording
+// on) and executed by the scenario runner; the tool prints the instance
+// (including its DOT rendering) and the traced schedule statistics.
 #include <cstdint>
 #include <iostream>
 #include <string>
 
-#include "graph/builders.h"
 #include "graph/io.h"
-#include "rv/rv_route.h"
-#include "sim/trace.h"
-#include "traj/traj.h"
+#include "runner/registry.h"
+#include "runner/scenario.h"
 
 namespace {
 
 using namespace asyncrv;
 
-Graph make_family(const std::string& family, Node n) {
-  if (family == "ring") return make_ring(n);
-  if (family == "path") return make_path(n);
-  if (family == "complete") return make_complete(n);
-  if (family == "star") return make_star(n);
-  if (family == "grid") return make_grid(n, n);
-  if (family == "torus") return make_torus(n, n);
-  if (family == "tree") return make_random_tree(n, 7);
-  if (family == "lollipop") return make_lollipop(n, n / 2);
-  if (family == "petersen") return make_petersen();
-  if (family == "hypercube") return make_hypercube(static_cast<int>(n));
-  throw std::logic_error("unknown graph family: " + family);
-}
-
-std::unique_ptr<Adversary> make_adv(const std::string& name, std::uint64_t seed) {
-  if (name == "fair") return make_fair_adversary();
-  if (name == "random") return make_random_adversary(seed, 500);
-  if (name == "stall") return make_stall_adversary(0, 2000);
-  if (name == "burst") return make_burst_adversary(seed);
-  if (name == "oscillating") return make_oscillating_adversary(seed);
-  if (name == "avoider") return make_avoider_adversary(seed);
-  if (name == "phase") return make_phase_adversary(seed);
-  if (name == "skew") return make_skew_adversary(seed);
-  throw std::logic_error("unknown adversary: " + name);
+std::string family_graph_id(const std::string& family, Node n) {
+  if (family == "grid" || family == "torus") {
+    return family + ":" + std::to_string(n) + "x" + std::to_string(n);
+  }
+  if (family == "tree") return "tree:" + std::to_string(n) + ":7";
+  if (family == "lollipop") {
+    return "lollipop:" + std::to_string(n) + ":" + std::to_string(n / 2);
+  }
+  if (family == "petersen") return "petersen";
+  return family + ":" + std::to_string(n);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace asyncrv;
-  const std::string family = argc > 1 ? argv[1] : "ring";
-  const Node n = argc > 2 ? static_cast<Node>(std::stoul(argv[2])) : 6;
-  const std::uint64_t la = argc > 3 ? std::stoull(argv[3]) : 5;
-  const std::uint64_t lb = argc > 4 ? std::stoull(argv[4]) : 12;
-  const std::string adv_name = argc > 5 ? argv[5] : "random";
-  const std::uint64_t seed = argc > 6 ? std::stoull(argv[6]) : 42;
-
   try {
-    const Graph g = make_family(family, n);
-    const TrajKit kit(PPoly::tiny(), 0x5eed0001);
+    const std::string family = argc > 1 ? argv[1] : "ring";
+    // Signed parse + range check: stoul would wrap "-3" into a
+    // 4-billion-node graph request.
+    const long n_arg = argc > 2 ? std::stol(argv[2]) : 6;
+    if (n_arg < 2 || n_arg > 100000) {
+      std::cerr << "error: graph size must be in [2, 100000], got " << n_arg
+                << "\n";
+      return 1;
+    }
+    const Node n = static_cast<Node>(n_arg);
+    const std::uint64_t la = argc > 3 ? std::stoull(argv[3]) : 5;
+    const std::uint64_t lb = argc > 4 ? std::stoull(argv[4]) : 12;
+    const std::string adv_name = argc > 5 ? argv[5] : "random";
+    const std::uint64_t seed = argc > 6 ? std::stoull(argv[6]) : 42;
+
+    runner::ScenarioSpec spec;
+    spec.graph = family_graph_id(family, n);
+    spec.adversary = adv_name;
+    spec.seed = seed;
+    spec.labels = {la, lb};
+    spec.budget = 50'000'000;
+    spec.record_schedule = true;
+
+    const Graph g = runner::make_graph(spec.graph);
+    spec.starts = {0, g.size() - 1};
 
     std::cout << "instance: " << family << " (" << g.summary() << ")\n";
     std::cout << "labels: " << la << " vs " << lb << ", adversary: " << adv_name
               << " (seed " << seed << ")\n\n";
     std::cout << to_dot(g, family) << "\n";
 
-    auto ra = make_walker_route(
-        g, 0, [&](Walker& w) { return rv_route(w, kit, la, nullptr); });
-    const Node sb = g.size() - 1;
-    auto rb = make_walker_route(
-        g, sb, [&](Walker& w) { return rv_route(w, kit, lb, nullptr); });
-    TwoAgentSim sim(g, ra, 0, rb, sb);
+    const runner::ScenarioOutcome out = runner::run_scenario(spec);
+    if (!out.error.empty()) {
+      std::cerr << "error: " << out.error << "\n";
+      return 1;
+    }
 
-    Schedule schedule;
-    const TraceStats stats =
-        traced_run(sim, make_adv(adv_name, seed), 50'000'000, &schedule);
-    std::cout << stats.summary() << "\n";
-    if (!stats.result.met) return 2;
+    // Schedule-shape statistics from the recorded adversary decisions.
+    std::cout << make_trace_stats(out.rv, out.schedule).summary() << "\n";
+    if (!out.ok) return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

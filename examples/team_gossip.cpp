@@ -2,58 +2,64 @@
 // leader election, perfect renaming and gossiping (Section 4).
 //
 // Four agents with arbitrary labels and private payloads are dropped on an
-// anonymous network; two are dormant until woken. Running Algorithm SGL,
-// every agent ends up outputting the complete roster — from which all four
-// classic problems are answered locally.
+// anonymous network; two are dormant until woken. The whole instance —
+// including the per-agent dormancy and wake schedule — is one SGL
+// ScenarioSpec executed by run_scenario; every agent ends up outputting
+// the complete roster, from which all four classic problems are answered
+// locally.
 #include <cstdint>
 #include <iostream>
 
-#include "graph/builders.h"
-#include "sgl/apps.h"
+#include "runner/scenario.h"
 
 int main() {
   using namespace asyncrv;
-  const Graph g = make_ring_with_chord(5);
-  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
 
-  std::vector<SglAgentSpec> team;
+  runner::ScenarioSpec spec;
+  spec.kind = runner::ScenarioKind::Sgl;
+  spec.graph = "ringchord:5";
+  spec.budget = 400'000'000;
+  spec.seed = 7;
+
   const std::uint64_t labels[] = {19, 4, 32, 11};
   const char* payloads[] = {"temperature=21C", "humidity=40%", "door=closed",
                             "battery=87%"};
   for (int i = 0; i < 4; ++i) {
-    SglAgentSpec spec;
-    spec.start = static_cast<Node>(i);
-    spec.label = labels[i];
-    spec.value = payloads[i];
-    spec.initially_awake = i < 2;  // agents 2 and 3 start dormant
-    spec.wake_after_units =
+    SglAgentSpec agent;
+    agent.start = static_cast<Node>(i);
+    agent.label = labels[i];
+    agent.value = payloads[i];
+    agent.initially_awake = i < 2;  // agents 2 and 3 start dormant
+    agent.wake_after_units =
         i == 2 ? 100 * static_cast<std::uint64_t>(kEdgeUnits) : 0;
-    team.push_back(spec);
+    spec.sgl_team.push_back(agent);
   }
 
-  std::cout << "Team of " << team.size() << " agents on " << g.summary()
+  std::cout << "Team of " << spec.sgl_team.size() << " agents on "
+            << spec.graph
             << " (2 dormant; one woken by the adversary, one by a visit)\n\n";
 
-  const SglSolveOutcome out =
-      solve_all_problems(g, kit, SglConfig{}, team, 400'000'000, /*seed=*/7);
-
-  if (!out.run.completed) {
-    std::cout << "run did not complete (budget=" << out.run.budget_exhausted
-              << ", stuck=" << out.run.stuck << ")\n";
+  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  if (!out.error.empty()) {
+    std::cerr << "error: " << out.error << "\n";
+    return 1;
+  }
+  if (!out.ok) {
+    std::cout << "run did not complete (budget=" << out.sgl.budget_exhausted
+              << ", stuck=" << out.sgl.stuck << ")\n";
     return 1;
   }
 
-  std::cout << "total cost: " << out.run.total_traversals
-            << " edge traversals\n\n";
-  for (std::size_t i = 0; i < team.size(); ++i) {
-    const std::uint64_t lab = team[i].label;
-    std::cout << "agent " << lab << " (" << to_string(out.run.final_states[i])
-              << "):\n";
-    std::cout << "  team size : " << out.apps.team_size.at(lab) << "\n";
-    std::cout << "  leader    : " << out.apps.leader.at(lab) << "\n";
-    std::cout << "  new name  : " << out.apps.new_name.at(lab) << "\n";
+  std::cout << "total cost: " << out.cost << " edge traversals\n\n";
+  for (std::size_t i = 0; i < spec.sgl_team.size(); ++i) {
+    const std::uint64_t lab = spec.sgl_team[i].label;
+    std::cout << "agent " << lab << " ("
+              << to_string(out.sgl.final_states[i]) << "):\n";
+    std::cout << "  team size : " << out.sgl_apps.team_size.at(lab) << "\n";
+    std::cout << "  leader    : " << out.sgl_apps.leader.at(lab) << "\n";
+    std::cout << "  new name  : " << out.sgl_apps.new_name.at(lab) << "\n";
     std::cout << "  gossip    : ";
-    for (const auto& [l, v] : out.apps.gossip.at(lab)) {
+    for (const auto& [l, v] : out.sgl_apps.gossip.at(lab)) {
       std::cout << l << "->\"" << v << "\" ";
     }
     std::cout << "\n";

@@ -1,0 +1,183 @@
+#include "runner/registry.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/builders.h"
+
+namespace asyncrv::runner {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = s.find(sep, begin);
+    parts.push_back(s.substr(begin, end - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& id) {
+  // Digits only: std::stoull would silently wrap negatives ("-3" becomes
+  // 18446744073709551613 and then a multi-gigabyte graph).
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::logic_error("bad numeric argument '" + s + "' in '" + id + "'");
+  }
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw std::logic_error("bad numeric argument '" + s + "' in '" + id + "'");
+  }
+}
+
+/// "<a>x<b>" -> {a, b}.
+std::pair<std::uint64_t, std::uint64_t> parse_dims(const std::string& s,
+                                                   const std::string& id) {
+  const std::size_t x = s.find('x');
+  if (x == std::string::npos) {
+    throw std::logic_error("expected <w>x<h> argument in graph id '" + id + "'");
+  }
+  return {parse_u64(s.substr(0, x), id), parse_u64(s.substr(x + 1), id)};
+}
+
+/// Cap on node counts in graph ids: large enough for any realistic sweep,
+/// small enough that a typo'd or overflowed size is rejected instead of
+/// wrapping through the uint32 Node type or allocating gigabytes.
+constexpr std::uint64_t kMaxNodes = 1'000'000;
+
+Graph build_family(const std::string& id) {
+  const auto parts = split(id, ':');
+  const std::string& family = parts.front();
+  const std::size_t nargs = parts.size() - 1;
+  const auto arg = [&](std::size_t i) { return parse_u64(parts[i + 1], id); };
+  // A node-count (or node-count-like) argument: range-checked so the later
+  // static_cast<Node> cannot truncate.
+  const auto node_arg = [&](std::size_t i) {
+    const std::uint64_t v = arg(i);
+    if (v > kMaxNodes) {
+      throw std::logic_error("size argument " + std::to_string(v) +
+                             " exceeds the " + std::to_string(kMaxNodes) +
+                             "-node cap in graph id '" + id + "'");
+    }
+    return static_cast<Node>(v);
+  };
+  const auto need = [&](std::size_t n) {
+    if (nargs != n) {
+      throw std::logic_error("graph family '" + family + "' takes " +
+                             std::to_string(n) + " argument(s): '" + id + "'");
+    }
+  };
+  // Two-dimensional families: each dimension and the product are capped.
+  const auto node_dims = [&](const std::string& s) {
+    const auto [w, h] = parse_dims(s, id);
+    if (w > kMaxNodes || h > kMaxNodes || w * h > kMaxNodes) {
+      throw std::logic_error("dimensions " + s + " exceed the " +
+                             std::to_string(kMaxNodes) + "-node cap in '" +
+                             id + "'");
+    }
+    return std::make_pair(static_cast<Node>(w), static_cast<Node>(h));
+  };
+
+  if (family == "edge") { need(0); return make_edge(); }
+  if (family == "petersen") { need(0); return make_petersen(); }
+  if (family == "ring") { need(1); return make_ring(node_arg(0)); }
+  if (family == "path") { need(1); return make_path(node_arg(0)); }
+  if (family == "complete") { need(1); return make_complete(node_arg(0)); }
+  if (family == "star") { need(1); return make_star(node_arg(0)); }
+  if (family == "ringchord") { need(1); return make_ring_with_chord(node_arg(0)); }
+  if (family == "hypercube") { need(1); return make_hypercube(static_cast<int>(node_arg(0))); }
+  if (family == "bintree") { need(1); return make_binary_tree(static_cast<int>(node_arg(0))); }
+  if (family == "grid") {
+    need(1);
+    const auto [w, h] = node_dims(parts[1]);
+    return make_grid(w, h);
+  }
+  if (family == "torus") {
+    need(1);
+    const auto [w, h] = node_dims(parts[1]);
+    return make_torus(w, h);
+  }
+  if (family == "bipartite") {
+    need(1);
+    const auto [a, b] = node_dims(parts[1]);
+    return make_complete_bipartite(a, b);
+  }
+  if (family == "tree") { need(2); return make_random_tree(node_arg(0), arg(1)); }
+  if (family == "lollipop") { need(2); return make_lollipop(node_arg(0), node_arg(1)); }
+  if (family == "barbell") { need(2); return make_barbell(node_arg(0), node_arg(1)); }
+  if (family == "random") {
+    need(3);
+    return make_random_connected(node_arg(0), node_arg(1), arg(2));
+  }
+  throw std::logic_error("unknown graph family: " + id);
+}
+
+}  // namespace
+
+Graph make_graph(const std::string& id) {
+  const std::size_t at = id.find('@');
+  if (at == std::string::npos) return build_family(id);
+  const Graph g = build_family(id.substr(0, at));
+  return g.shuffle_ports(parse_u64(id.substr(at + 1), id));
+}
+
+std::vector<std::string> small_catalog_ids() {
+  return {"edge",          "path:3",       "path:5",      "ring:3",
+          "ring:4",        "ring:6",       "star:5",      "complete:4",
+          "complete:5",    "grid:2x3",     "tree:6:11",   "tree:8:12",
+          "lollipop:6:3",  "bipartite:2x3", "ringchord:6", "random:7:3:21",
+          "petersen"};
+}
+
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "fair") return make_fair_adversary();
+  if (name == "random" || name == "random50") return make_random_adversary(seed, 500);
+  if (name == "random85") return make_random_adversary(seed, 850);
+  if (name == "stall" || name == "stall-a") return make_stall_adversary(0, 2000);
+  if (name == "stall-b") return make_stall_adversary(1, 2000);
+  if (name.rfind("stall:", 0) == 0) {
+    const auto parts = split(name, ':');
+    if (parts.size() != 3) {
+      throw std::logic_error("expected stall:<agent>:<traversals>: " + name);
+    }
+    const std::uint64_t agent = parse_u64(parts[1], name);
+    if (agent > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+      throw std::logic_error("stall agent index out of range: " + name);
+    }
+    // The index is range-checked against the actual agent count when the
+    // adversary first runs (StallAdversary::next).
+    return make_stall_adversary(static_cast<int>(agent),
+                                parse_u64(parts[2], name));
+  }
+  if (name == "burst") return make_burst_adversary(seed);
+  if (name == "oscillating") return make_oscillating_adversary(seed);
+  if (name == "avoider") return make_avoider_adversary(seed);
+  if (name == "phase") return make_phase_adversary(seed);
+  if (name == "skew") return make_skew_adversary(seed);
+  throw std::logic_error("unknown adversary: " + name);
+}
+
+std::uint64_t battery_seed(const std::string& name, std::uint64_t base) {
+  if (name == "random" || name == "random50") return base;
+  if (name == "random85") return base + 1;
+  if (name == "burst") return base + 2;
+  if (name == "oscillating") return base + 3;
+  if (name == "avoider") return base + 4;
+  if (name == "phase") return base + 5;
+  if (name == "skew") return base + 6;
+  return base;  // fair / stall-* take no seed
+}
+
+PPoly make_ppoly(const std::string& profile) {
+  if (profile == "tiny") return PPoly::tiny();
+  if (profile == "compact") return PPoly::compact();
+  if (profile == "standard") return PPoly::standard();
+  throw std::logic_error("unknown PPoly profile: " + profile);
+}
+
+}  // namespace asyncrv::runner

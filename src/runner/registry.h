@@ -1,0 +1,63 @@
+// Name registries for the scenario runner.
+//
+// Scenario specs are plain data (strings + integers) so that a sweep of
+// thousands of scenarios can be described, shipped to worker threads,
+// logged and replayed without sharing any live object. The registry turns
+// those names into live instances:
+//
+//  * graph ids   — "<family>[:<args>][@<shuffle_seed>]", covering every
+//    builder in graph/builders.h (e.g. "ring:6", "grid:3x4", "tree:8:12",
+//    "petersen", "ring:6@77" for a port-shuffled twin);
+//  * adversaries — the battery names of sim/adversary.h plus parameterized
+//    forms ("stall:<agent>:<traversals>");
+//  * PPoly profiles — "tiny" | "compact" | "standard" (explore/ppoly.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/ppoly.h"
+#include "graph/graph.h"
+#include "sim/adversary.h"
+
+namespace asyncrv::runner {
+
+/// Builds a graph from its id. Throws std::logic_error on unknown families
+/// or malformed arguments.
+///
+/// Grammar (parameters are ':'-separated):
+///   edge | petersen
+///   ring:<n> | path:<n> | complete:<n> | star:<n> | ringchord:<n>
+///   hypercube:<d> | bintree:<depth>
+///   grid:<w>x<h> | torus:<w>x<h> | bipartite:<a>x<b>
+///   tree:<n>:<seed> | random:<n>:<extra>:<seed>
+///   lollipop:<n>:<k> | barbell:<k>:<bridge>
+/// An optional "@<seed>" suffix port-shuffles the instance.
+Graph make_graph(const std::string& id);
+
+/// Graph ids reproducing the small catalog of graph/catalog.h, for sweeps.
+std::vector<std::string> small_catalog_ids();
+
+/// Builds an adversary from its name, seeding the seeded strategies with
+/// `seed`. Accepts the battery names ("fair", "random50", "random85",
+/// "stall-a", "stall-b", "burst", "oscillating", "avoider", "phase",
+/// "skew"), the generic "random" / "stall", and the parameterized
+/// "stall:<agent>:<traversals>". Throws std::logic_error on unknown names.
+std::unique_ptr<Adversary> make_adversary(const std::string& name,
+                                          std::uint64_t seed);
+
+/// The seed a battery strategy historically received from
+/// adversary_battery(base): the i-th *seeded* strategy of the battery gets
+/// base + i (random50 -> base, random85 -> base+1, burst -> base+2,
+/// oscillating -> base+3, avoider -> base+4, phase -> base+5,
+/// skew -> base+6); unseeded strategies (fair, stall-*) return base
+/// unchanged. Sweeps that set `ScenarioSpec::seed = battery_seed(name,
+/// base)` reproduce the pre-runner battery tables stream-for-stream.
+std::uint64_t battery_seed(const std::string& name, std::uint64_t base);
+
+/// The PPoly profile by name: "tiny" | "compact" | "standard".
+PPoly make_ppoly(const std::string& profile);
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,102 @@
+#include "runner/runner.h"
+
+#include <atomic>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace asyncrv::runner {
+
+namespace {
+
+std::string outcome_status(const ScenarioOutcome& out) {
+  if (!out.error.empty()) return "error: " + out.error;
+  if (out.ok) return "ok";
+  if (out.budget_exhausted) return "budget";
+  return "no-meet";
+}
+
+}  // namespace
+
+std::string ScenarioReport::summary() const {
+  std::ostringstream os;
+  os << scenarios << " scenarios: " << succeeded << " ok, " << unresolved
+     << " unresolved, " << errored << " errors, total cost " << total_cost
+     << " traversals (max " << max_cost << ")";
+  return os.str();
+}
+
+std::string ScenarioReport::table() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    os << std::setw(36) << std::left << specs[i].display() << std::right
+       << std::setw(12) << outcomes[i].cost << "  " << outcome_status(outcomes[i])
+       << "\n";
+  }
+  os << summary() << "\n";
+  return os.str();
+}
+
+ScenarioReport ScenarioRunner::run(std::vector<ScenarioSpec> specs) const {
+  ScenarioReport report;
+  report.outcomes.resize(specs.size());
+
+  unsigned n_threads = options_.threads > 0
+                           ? static_cast<unsigned>(options_.threads)
+                           : std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 1;
+  if (n_threads > specs.size()) n_threads = static_cast<unsigned>(specs.size());
+
+  std::atomic<std::size_t> next{0};
+  std::mutex stream_mutex;
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      ScenarioOutcome out = run_scenario(specs[i]);
+      out.index = i;
+      if (options_.on_outcome) {
+        // Serialize the stream so callbacks may print / aggregate freely. A
+        // throwing callback must not escape the worker (std::terminate);
+        // record it on the outcome instead.
+        const std::lock_guard<std::mutex> lock(stream_mutex);
+        try {
+          options_.on_outcome(specs[i], out);
+        } catch (const std::exception& e) {
+          out.error += (out.error.empty() ? "" : "; ");
+          out.error += std::string("on_outcome callback threw: ") + e.what();
+        }
+      }
+      report.outcomes[i] = std::move(out);
+    }
+  };
+
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Aggregate in spec order — independent of scheduling, so the report is
+  // identical across thread counts.
+  report.scenarios = specs.size();
+  for (const ScenarioOutcome& out : report.outcomes) {
+    if (!out.error.empty()) {
+      ++report.errored;
+    } else if (out.ok) {
+      ++report.succeeded;
+    } else {
+      ++report.unresolved;
+    }
+    report.total_cost += out.cost;
+    if (out.cost > report.max_cost) report.max_cost = out.cost;
+  }
+  report.specs = std::move(specs);
+  return report;
+}
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,65 @@
+// ScenarioRunner — batched, parallel scenario execution.
+//
+// The runner executes a batch of ScenarioSpecs across a thread pool. Each
+// scenario is a pure function of its spec (own graph, own TrajKit, own
+// seeded PRNGs), so workers share nothing and the aggregated report is
+// bit-identical for every thread count — only wall-clock time changes.
+// Outcomes can additionally be streamed through a (serialized) callback as
+// scenarios finish, e.g. for progress display.
+//
+// This is the sweep machinery every experiment harness and example binary
+// drives; future scaling work (sharded sweeps, async backends, result
+// caching) slots in behind this interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.h"
+
+namespace asyncrv::runner {
+
+/// The aggregated view of one batch. Outcomes are index-aligned with the
+/// submitted specs regardless of completion order or thread count.
+struct ScenarioReport {
+  std::vector<ScenarioSpec> specs;
+  std::vector<ScenarioOutcome> outcomes;
+
+  // Aggregates (over outcomes, in spec order).
+  std::uint64_t scenarios = 0;
+  std::uint64_t succeeded = 0;   ///< met / completed
+  std::uint64_t unresolved = 0;  ///< ran but no meeting / completion
+  std::uint64_t errored = 0;     ///< threw (bad spec, internal failure)
+  std::uint64_t total_cost = 0;
+  std::uint64_t max_cost = 0;
+
+  /// One-line "N scenarios: S ok, U unresolved, E errors, total cost C".
+  std::string summary() const;
+  /// Full per-scenario table (display label, status, cost).
+  std::string table() const;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 = hardware concurrency (at least 1). The batch is
+  /// additionally capped to one thread per scenario.
+  int threads = 0;
+  /// Streamed per-outcome callback, invoked as scenarios finish (from
+  /// worker threads, serialized by the runner). May be empty.
+  std::function<void(const ScenarioSpec&, const ScenarioOutcome&)> on_outcome;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Executes the whole batch and returns the aggregated report.
+  ScenarioReport run(std::vector<ScenarioSpec> specs) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,144 @@
+#include "runner/scenario.h"
+
+#include <stdexcept>
+
+#include "runner/registry.h"
+#include "rv/baseline.h"
+#include "rv/rv_route.h"
+#include "traj/traj.h"
+
+namespace asyncrv::runner {
+
+namespace {
+
+RouteFn make_route(const Graph& g, const TrajKit& kit, const ScenarioSpec& spec,
+                   Node start, std::uint64_t label) {
+  if (spec.algo == RouteAlgo::Baseline) {
+    const std::uint64_t n = g.size();
+    return make_walker_route(g, start, [&kit, n, label](Walker& w) {
+      return baseline_route(w, kit, n, label);
+    });
+  }
+  return make_walker_route(g, start, [&kit, label](Walker& w) {
+    return rv_route(w, kit, label, nullptr);
+  });
+}
+
+void run_rendezvous_scenario(const ScenarioSpec& spec, ScenarioOutcome& out) {
+  if (spec.labels.size() != 2) {
+    throw std::logic_error("rendezvous scenario needs exactly 2 labels");
+  }
+  const Graph g = make_graph(spec.graph);
+  // Each scenario owns its kit: LengthCalculus memoizes internally, so
+  // sharing one across worker threads would race.
+  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
+
+  std::vector<Node> starts = spec.starts;
+  if (starts.empty()) starts = {0, g.size() - 1};
+  if (starts.size() != 2) {
+    throw std::logic_error("rendezvous scenario needs exactly 2 starts");
+  }
+
+  sim::SimEngine engine(g, sim::MeetingPolicy::Halt);
+  for (int i = 0; i < 2; ++i) {
+    engine.add_agent({make_route(g, kit, spec, starts[static_cast<std::size_t>(i)],
+                                 spec.labels[static_cast<std::size_t>(i)]),
+                      starts[static_cast<std::size_t>(i)], /*awake=*/true,
+                      sim::EndPolicy::Sticky});
+  }
+
+  std::unique_ptr<Adversary> adv = make_adversary(spec.adversary, spec.seed);
+  if (spec.record_schedule) {
+    adv = std::make_unique<RecordingAdversary>(std::move(adv), &out.schedule);
+  }
+  out.rv = sim::run_rendezvous(engine, *adv, spec.budget);
+  out.ok = out.rv.met;
+  out.budget_exhausted = out.rv.budget_exhausted;
+  out.cost = out.rv.cost();
+}
+
+void run_sgl_scenario(const ScenarioSpec& spec, ScenarioOutcome& out) {
+  const Graph g = make_graph(spec.graph);
+  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
+
+  std::vector<SglAgentSpec> team = spec.sgl_team;
+  if (team.empty()) {
+    if (spec.labels.size() < 2) {
+      throw std::logic_error("SGL scenario needs a team of >= 2 labels");
+    }
+    for (std::size_t i = 0; i < spec.labels.size(); ++i) {
+      SglAgentSpec s;
+      s.start = i < spec.starts.size() ? spec.starts[i] : static_cast<Node>(i);
+      s.label = spec.labels[i];
+      s.value = "val" + std::to_string(s.label);
+      team.push_back(s);
+    }
+  }
+
+  SglConfig cfg;
+  cfg.robust_phase3 = spec.sgl_robust_phase3;
+  const SglSolveOutcome solved =
+      solve_all_problems(g, kit, cfg, team, spec.budget, spec.seed);
+  out.sgl = solved.run;
+  out.sgl_apps = solved.apps;
+  out.ok = solved.run.completed;
+  out.budget_exhausted = solved.run.budget_exhausted;
+  out.cost = solved.run.total_traversals;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::display() const {
+  if (!name.empty()) return name;
+  std::string s = graph;
+  if (kind == ScenarioKind::Rendezvous) s += " " + adversary;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    s += (i == 0 ? " L" : "/L") + std::to_string(labels[i]);
+  }
+  if (kind == ScenarioKind::Sgl && labels.empty()) {
+    for (std::size_t i = 0; i < sgl_team.size(); ++i) {
+      s += (i == 0 ? " L" : "/L") + std::to_string(sgl_team[i].label);
+    }
+  }
+  return s;
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
+  ScenarioOutcome out;
+  try {
+    if (spec.kind == ScenarioKind::Rendezvous) {
+      run_rendezvous_scenario(spec, out);
+    } else {
+      run_sgl_scenario(spec, out);
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.ok = false;
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> rendezvous_sweep(
+    const std::vector<std::string>& graph_ids,
+    const std::vector<std::string>& adversaries,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& label_pairs,
+    std::uint64_t budget, std::uint64_t seed) {
+  std::vector<ScenarioSpec> specs;
+  for (const std::string& g : graph_ids) {
+    for (const auto& [la, lb] : label_pairs) {
+      for (const std::string& adv : adversaries) {
+        ScenarioSpec spec;
+        spec.graph = g;
+        spec.adversary = adv;
+        spec.labels = {la, lb};
+        spec.budget = budget;
+        // Independent, reproducible schedule per cell.
+        spec.seed = splitmix64(seed ^ (specs.size() + 1));
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,85 @@
+// Scenario descriptions and single-scenario execution.
+//
+// A ScenarioSpec is a self-contained, value-semantic description of one
+// simulated execution: graph builder id × adversary × labels/starts ×
+// budget × seeds. Because the spec carries everything (including the
+// exploration-profile and kit seed), running it is a pure function — the
+// same spec always produces the same outcome, on any thread, which is what
+// makes the parallel ScenarioRunner's reports reproducible bit-for-bit.
+//
+// Two scenario kinds cover the paper's two models:
+//  * Rendezvous — two agents (RV-asynch-poly or the exponential baseline)
+//    under a named adversary, through a Halt-policy sim::SimEngine;
+//  * Sgl — a k-agent Algorithm-SGL run (Section 4) with the randomized
+//    scheduler, through the Continue-policy engine behind MultiAgentSim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgl/apps.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace asyncrv::runner {
+
+enum class ScenarioKind { Rendezvous, Sgl };
+
+/// Route family of a rendezvous scenario.
+enum class RouteAlgo {
+  RvAsynchPoly,  ///< Algorithm RV-asynch-poly (Section 3.1) — needs no n
+  Baseline       ///< exponential baseline [17] — is GIVEN the graph size n
+};
+
+struct ScenarioSpec {
+  std::string name;                    ///< optional report label
+  ScenarioKind kind = ScenarioKind::Rendezvous;
+  std::string graph = "ring:6";        ///< builder id (runner/registry.h)
+  std::string adversary = "fair";      ///< rendezvous schedule name
+  RouteAlgo algo = RouteAlgo::RvAsynchPoly;
+  std::vector<std::uint64_t> labels;   ///< 2 for rendezvous, >= 2 for SGL
+  std::vector<Node> starts;            ///< empty = default placement
+  std::uint64_t budget = 20'000'000;   ///< combined traversal budget
+  std::uint64_t seed = 42;             ///< scenario PRNG seed
+  std::string ppoly = "tiny";          ///< exploration profile
+  std::uint64_t kit_seed = 0x5eed0001; ///< UXS seed of the TrajKit
+  bool record_schedule = false;        ///< capture the adversary schedule
+  /// Explicit SGL team (dormancy, payloads, wake times); when empty a
+  /// default team is derived from labels/starts (all awake, value
+  /// "val<label>"). Ignored by rendezvous scenarios.
+  std::vector<SglAgentSpec> sgl_team;
+  bool sgl_robust_phase3 = true;
+
+  /// Report label: `name` if set, else "<graph> <adversary> L<a>/L<b>".
+  std::string display() const;
+};
+
+struct ScenarioOutcome {
+  std::size_t index = 0;         ///< position within the submitted batch
+  bool ok = false;               ///< met (rendezvous) / completed (SGL)
+  bool budget_exhausted = false;
+  std::uint64_t cost = 0;        ///< combined charged edge traversals
+  std::string error;             ///< non-empty when the scenario threw
+
+  RendezvousResult rv;           ///< kind == Rendezvous
+  Schedule schedule;             ///< filled when spec.record_schedule
+
+  SglRunResult sgl;              ///< kind == Sgl
+  SglApplications sgl_apps;      ///< derived when the SGL run completed
+};
+
+/// Executes one scenario synchronously. Pure: depends only on the spec.
+/// Never throws — failures are reported through `outcome.error`.
+ScenarioOutcome run_scenario(const ScenarioSpec& spec);
+
+/// Cross-product helper: one rendezvous spec per graph × adversary ×
+/// label pair. Seeds are derived per scenario from `seed` so that every
+/// cell runs an independent, reproducible schedule.
+std::vector<ScenarioSpec> rendezvous_sweep(
+    const std::vector<std::string>& graph_ids,
+    const std::vector<std::string>& adversaries,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& label_pairs,
+    std::uint64_t budget, std::uint64_t seed);
+
+}  // namespace asyncrv::runner

@@ -1,22 +1,28 @@
 #include "sim/adversary.h"
 
+#include "sim/engine.h"
 #include "sim/two_agent.h"
 
 namespace asyncrv {
 
-namespace {
+AdvStep Adversary::next(const TwoAgentSim& sim) { return next(sim.engine()); }
 
-/// If the preferred agent cannot move (route over), switch to the other.
-int movable(const TwoAgentSim& sim, int preferred) {
-  if (!sim.route_ended(preferred)) return preferred;
-  return 1 - preferred;
+int first_movable(const sim::SimEngine& engine, int preferred) {
+  const int n = engine.agent_count();
+  for (int i = 0; i < n; ++i) {
+    const int agent = (preferred + i) % n;
+    if (!engine.route_ended(agent)) return agent;
+  }
+  return preferred;
 }
+
+namespace {
 
 class FairAdversary final : public Adversary {
  public:
-  AdvStep next(const TwoAgentSim& sim) override {
-    turn_ = 1 - turn_;
-    return {movable(sim, turn_), kEdgeUnits};
+  AdvStep next(const sim::SimEngine& engine) override {
+    turn_ = (turn_ + 1) % engine.agent_count();
+    return {first_movable(engine, turn_), kEdgeUnits};
   }
   std::string name() const override { return "fair"; }
 
@@ -29,10 +35,17 @@ class RandomAdversary final : public Adversary {
   RandomAdversary(std::uint64_t seed, int bias_permille)
       : rng_(seed), bias_(bias_permille) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
-    const int agent = rng_.chance(static_cast<std::uint64_t>(bias_), 1000) ? 0 : 1;
+  AdvStep next(const sim::SimEngine& engine) override {
+    const int n = engine.agent_count();
+    int agent = 0;
+    if (!rng_.chance(static_cast<std::uint64_t>(bias_), 1000)) {
+      // The unbiased share is split uniformly over the other agents.
+      agent = n == 2 ? 1
+                     : 1 + static_cast<int>(
+                               rng_.below(static_cast<std::uint64_t>(n - 1)));
+    }
     const auto delta = static_cast<std::int64_t>(rng_.between(1, kEdgeUnits));
-    return {movable(sim, agent), delta};
+    return {first_movable(engine, agent), delta};
   }
   std::string name() const override { return "random"; }
 
@@ -46,19 +59,30 @@ class StallAdversary final : public Adversary {
   StallAdversary(int stalled, std::uint64_t stall_traversals)
       : stalled_(stalled), threshold_(stall_traversals) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
-    const int runner = 1 - stalled_;
-    if (sim.completed_traversals(runner) < threshold_ && !sim.route_ended(runner)) {
-      return {runner, kEdgeUnits};
+  AdvStep next(const sim::SimEngine& engine) override {
+    const int n = engine.agent_count();
+    ASYNCRV_CHECK_MSG(stalled_ >= 0 && stalled_ < n,
+                      "stalled agent index out of range");
+    // Rotate over the runners (everyone but the stalled agent) until each
+    // has reached the threshold; only then does the stalled agent get time.
+    for (int i = 1; i <= n; ++i) {
+      const int runner = (last_runner_ + i) % n;
+      if (runner == stalled_) continue;
+      if (engine.completed_traversals(runner) < threshold_ &&
+          !engine.route_ended(runner)) {
+        last_runner_ = runner;
+        return {runner, kEdgeUnits};
+      }
     }
-    turn_ = 1 - turn_;
-    return {movable(sim, turn_), kEdgeUnits};
+    turn_ = (turn_ + 1) % n;
+    return {first_movable(engine, turn_), kEdgeUnits};
   }
   std::string name() const override { return "stall"; }
 
  private:
   int stalled_;
   std::uint64_t threshold_;
+  int last_runner_ = 0;
   int turn_ = 1;
 };
 
@@ -66,13 +90,14 @@ class BurstAdversary final : public Adversary {
  public:
   BurstAdversary(std::uint64_t seed, int max_burst) : rng_(seed), max_burst_(max_burst) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
+  AdvStep next(const sim::SimEngine& engine) override {
     if (remaining_ == 0) {
-      agent_ = static_cast<int>(rng_.below(2));
+      agent_ = static_cast<int>(
+          rng_.below(static_cast<std::uint64_t>(engine.agent_count())));
       remaining_ = rng_.between(1, static_cast<std::uint64_t>(max_burst_));
     }
     --remaining_;
-    return {movable(sim, agent_), kEdgeUnits};
+    return {first_movable(engine, agent_), kEdgeUnits};
   }
   std::string name() const override { return "burst"; }
 
@@ -87,10 +112,10 @@ class OscillatingAdversary final : public Adversary {
  public:
   explicit OscillatingAdversary(std::uint64_t seed) : rng_(seed) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
-    turn_ = 1 - turn_;
-    const int agent = movable(sim, turn_);
-    if (sim.mid_edge(agent) && rng_.chance(1, 3)) {
+  AdvStep next(const sim::SimEngine& engine) override {
+    turn_ = (turn_ + 1) % engine.agent_count();
+    const int agent = first_movable(engine, turn_);
+    if (engine.mid_edge(agent) && rng_.chance(1, 3)) {
       // Drag the agent backwards a random distance inside its edge; the
       // forward motion on a later turn re-covers the interval.
       return {agent, -static_cast<std::int64_t>(rng_.between(1, kEdgeUnits / 2))};
@@ -108,16 +133,18 @@ class AvoiderAdversary final : public Adversary {
  public:
   explicit AvoiderAdversary(std::uint64_t seed) : rng_(seed) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
+  AdvStep next(const sim::SimEngine& engine) override {
+    const int n = engine.agent_count();
     const auto quantum = static_cast<std::int64_t>(rng_.between(kEdgeUnits / 4, kEdgeUnits));
-    const int first = static_cast<int>(rng_.below(2));
-    for (const int agent : {first, 1 - first}) {
-      if (sim.route_ended(agent)) continue;
-      if (!sim.would_meet_within_edge(agent, quantum)) return {agent, quantum};
+    const int first = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n)));
+    for (int i = 0; i < n; ++i) {
+      const int agent = (first + i) % n;
+      if (engine.route_ended(agent)) continue;
+      if (!engine.would_meet_within_edge(agent, quantum)) return {agent, quantum};
     }
     // Every option contacts (or an agent must leave a node, which cannot be
     // peeked): concede with the smallest motion of the first movable agent.
-    return {movable(sim, first), 1};
+    return {first_movable(engine, first), 1};
   }
   std::string name() const override { return "avoider"; }
 
@@ -130,13 +157,13 @@ class PhaseAdversary final : public Adversary {
   PhaseAdversary(std::uint64_t seed, std::uint64_t max_phase)
       : rng_(seed), max_phase_(max_phase) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
+  AdvStep next(const sim::SimEngine& engine) override {
     if (remaining_ == 0) {
-      agent_ = 1 - agent_;
+      agent_ = (agent_ + 1) % engine.agent_count();
       remaining_ = rng_.between(1, max_phase_);
     }
     --remaining_;
-    return {movable(sim, agent_), kEdgeUnits};
+    return {first_movable(engine, agent_), kEdgeUnits};
   }
   std::string name() const override { return "phase"; }
 
@@ -151,18 +178,18 @@ class SkewAdversary final : public Adversary {
  public:
   SkewAdversary(std::uint64_t seed, int ratio) : rng_(seed), ratio_(ratio) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
+  AdvStep next(const sim::SimEngine& engine) override {
+    const int n = engine.agent_count();
     if (until_swap_ == 0) {
-      fast_ = 1 - fast_;
+      fast_ = (fast_ + 1) % n;
       until_swap_ = rng_.between(32, 256);
     }
     --until_swap_;
-    // The fast agent gets a full edge; the slow one a sliver, interleaved.
-    turn_ = 1 - turn_;
-    const int agent = turn_ == 0 ? fast_ : 1 - fast_;
-    const std::int64_t delta =
-        agent == fast_ ? kEdgeUnits : kEdgeUnits / ratio_;
-    return {movable(sim, agent), delta};
+    // The fast agent gets a full edge; the slow ones a sliver, interleaved.
+    turn_ = (turn_ + 1) % n;
+    const int agent = (fast_ + turn_) % n;
+    const std::int64_t delta = agent == fast_ ? kEdgeUnits : kEdgeUnits / ratio_;
+    return {first_movable(engine, agent), delta};
   }
   std::string name() const override { return "skew"; }
 

@@ -1,10 +1,16 @@
-// Adversary strategies for the two-agent asynchronous model.
+// Adversary strategies for the asynchronous model.
 //
 // The adversary fully controls the agents' walks along their (self-chosen)
 // routes: relative speeds, stalls, bursts and back-and-forth motion inside
 // an edge. A rendezvous algorithm must force a meeting against *any*
 // schedule; the strategies here form the ablation battery of experiment E9
 // and the failure-injection arm of the test suite.
+//
+// Strategies consume the unified sim::SimEngine view and generalize to any
+// number of agents (AdvStep is an agent index + a signed micro-unit delta),
+// so the same battery drives two-agent rendezvous runs and k-agent engines
+// alike; for N = 2 every strategy behaves exactly as the historical
+// two-agent battery did.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,10 @@
 
 namespace asyncrv {
 
+namespace sim {
+class SimEngine;
+}  // namespace sim
+
 class TwoAgentSim;
 
 struct AdvStep {
@@ -26,24 +36,35 @@ struct AdvStep {
 class Adversary {
  public:
   virtual ~Adversary() = default;
-  virtual AdvStep next(const TwoAgentSim& sim) = 0;
+  /// The next scheduling decision against any engine with N >= 2 agents.
+  virtual AdvStep next(const sim::SimEngine& engine) = 0;
+  /// Legacy convenience: dispatches on the sim's underlying engine.
+  AdvStep next(const TwoAgentSim& sim);
   virtual std::string name() const = 0;
 };
 
-/// Strict alternation, full-edge quanta — the "synchronous" schedule.
+/// The first agent, scanning cyclically from `preferred`, whose route has
+/// not ended (falls back to `preferred` when every route is over). The
+/// "don't waste a step on a stopped agent" helper shared by the battery.
+int first_movable(const sim::SimEngine& engine, int preferred);
+
+/// Strict rotation (alternation for N = 2), full-edge quanta — the
+/// "synchronous" schedule.
 std::unique_ptr<Adversary> make_fair_adversary();
 
-/// Random agent (optionally biased), random fraction of an edge per step.
+/// Random agent (optionally biased towards agent 0), random fraction of an
+/// edge per step.
 std::unique_ptr<Adversary> make_random_adversary(std::uint64_t seed,
                                                  int bias_permille = 500);
 
-/// One agent is frozen until the other has completed `stall_traversals`
-/// edge traversals; then strict alternation. Models a maximally lopsided
-/// schedule (the extreme the paper's synchronization machinery must beat).
+/// One agent is frozen until every other agent has completed
+/// `stall_traversals` edge traversals; then strict rotation. Models a
+/// maximally lopsided schedule (the extreme the paper's synchronization
+/// machinery must beat).
 std::unique_ptr<Adversary> make_stall_adversary(int stalled_agent,
                                                 std::uint64_t stall_traversals);
 
-/// Random multi-edge bursts: one agent sprints while the other waits.
+/// Random multi-edge bursts: one agent sprints while the others wait.
 std::unique_ptr<Adversary> make_burst_adversary(std::uint64_t seed,
                                                 int max_burst_edges = 8);
 
@@ -52,19 +73,20 @@ std::unique_ptr<Adversary> make_burst_adversary(std::uint64_t seed,
 std::unique_ptr<Adversary> make_oscillating_adversary(std::uint64_t seed);
 
 /// Greedy meeting-avoider: prefers advancing an agent whose next quantum
-/// does not create a contact; when both options contact, it concedes with
+/// does not create a contact; when every option contacts, it concedes with
 /// the smallest possible motion. The strongest schedule in the battery.
 std::unique_ptr<Adversary> make_avoider_adversary(std::uint64_t seed);
 
 /// Phase-locked schedule: long exclusive phases per agent with random
 /// phase lengths — the pattern behind the paper's "different starting
 /// times" discussion (one agent may be deep into its route before the
-/// other moves at all).
+/// others move at all).
 std::unique_ptr<Adversary> make_phase_adversary(std::uint64_t seed,
                                                 std::uint64_t max_phase_edges = 64);
 
-/// Speed-skew: both agents always move, but one at a tiny fraction of the
-/// other's speed, with the roles swapping at random intervals.
+/// Speed-skew: every agent always moves, but one at a full edge per turn
+/// and the rest at a tiny fraction, with the fast role rotating at random
+/// intervals.
 std::unique_ptr<Adversary> make_skew_adversary(std::uint64_t seed, int ratio = 16);
 
 /// The whole battery, for parameterized sweeps.

@@ -1,0 +1,195 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "sim/adversary.h"
+
+namespace asyncrv::sim {
+
+int SimEngine::add_agent(EngineAgentSpec spec) {
+  ASYNCRV_CHECK(spec.source != nullptr);
+  ASYNCRV_CHECK(spec.start < g_->size());
+  for (const AgentState& a : agents_) {
+    ASYNCRV_CHECK_MSG(a.at != spec.start || a.cur,
+                      "agents start at pairwise different nodes");
+  }
+  AgentState s;
+  s.source = std::move(spec.source);
+  s.at = spec.start;
+  s.awake = spec.awake;
+  s.end_policy = spec.end_policy;
+  agents_.push_back(std::move(s));
+  return static_cast<int>(agents_.size()) - 1;
+}
+
+Pos SimEngine::position(int idx) const {
+  const AgentState& a = agents_[checked(idx)];
+  if (!a.cur) return Pos::at_node(a.at);
+  return pos_on_move(*g_, *a.cur, a.prog);
+}
+
+std::uint64_t SimEngine::charged_traversals(int idx) const {
+  const AgentState& a = agents_[checked(idx)];
+  return a.completed + ((a.cur && a.prog > 0) ? 1 : 0);
+}
+
+std::uint64_t SimEngine::total_traversals() const {
+  std::uint64_t t = 0;
+  for (int i = 0; i < agent_count(); ++i) t += charged_traversals(i);
+  return t;
+}
+
+void SimEngine::wake(int idx) {
+  AgentState& a = agents_[checked(idx)];
+  if (a.awake) return;
+  a.awake = true;
+  if (sink_ != nullptr) sink_->on_wake(idx);
+}
+
+void SimEngine::fire_meeting(int mover, const std::vector<int>& group) {
+  // Wake dormant members first (a woken agent participates in the meeting).
+  for (int i : group) wake(i);
+  if (sink_ != nullptr) sink_->on_meeting(mover, group);
+}
+
+bool SimEngine::process_sweep(int idx, std::int64_t from_prog,
+                              std::int64_t to_prog) {
+  AgentState& a = agents_[checked(idx)];
+  // Collect contacts (other agent, progress parameter) within the sweep.
+  std::vector<std::pair<std::int64_t, int>> contacts;
+  for (int j = 0; j < agent_count(); ++j) {
+    if (j == idx) continue;
+    const auto c = sweep_contact(*g_, *a.cur, from_prog, to_prog, position(j));
+    if (c) contacts.emplace_back(*c, j);
+  }
+  if (contacts.empty()) {
+    a.prog = to_prog;
+    return false;
+  }
+  const bool forward = to_prog >= from_prog;
+  std::sort(contacts.begin(), contacts.end(),
+            [forward](const auto& x, const auto& y) {
+              return forward ? x.first < y.first : x.first > y.first;
+            });
+
+  if (policy_ == MeetingPolicy::Halt) {
+    // The first contact ends the run: stop exactly there.
+    const std::int64_t cp = contacts.front().first;
+    meeting_ = position(contacts.front().second);
+    a.prog = cp;
+    met_ = true;
+    std::vector<int> group;
+    for (const auto& [p, j] : contacts) {
+      if (p == cp) group.push_back(j);
+    }
+    fire_meeting(idx, group);
+    return true;
+  }
+
+  // Continue policy: the mover finishes the sweep; every distinct contact
+  // point yields one grouped meeting event, in sweep order.
+  a.prog = to_prog;
+  std::size_t i = 0;
+  while (i < contacts.size()) {
+    std::size_t j = i;
+    std::vector<int> group;
+    while (j < contacts.size() && contacts[j].first == contacts[i].first) {
+      group.push_back(contacts[j].second);
+      ++j;
+    }
+    fire_meeting(idx, group);
+    i = j;
+  }
+  return false;
+}
+
+std::int64_t SimEngine::advance(int idx, std::int64_t delta) {
+  AgentState& a = agents_[checked(idx)];
+  if (met_ && policy_ == MeetingPolicy::Halt) return 0;
+  if (!a.awake) return 0;
+
+  if (delta < 0) {
+    // Backward motion is confined to the current edge.
+    if (!a.cur) return 0;
+    std::int64_t target = a.prog + delta;
+    if (target < 0) target = 0;
+    const std::int64_t from = a.prog;
+    process_sweep(idx, from, target);
+    return from - a.prog;
+  }
+
+  std::int64_t consumed = 0;
+  while (delta > 0) {
+    if (!a.cur) {
+      if (a.ended) break;
+      auto m = a.source();
+      if (!m) {
+        if (a.end_policy == EndPolicy::Sticky) a.ended = true;
+        break;
+      }
+      ASYNCRV_CHECK_MSG(m->from == a.at, "route move must start at current node");
+      a.cur = *m;
+      a.prog = 0;
+      // Leaving a node: co-location at the node itself counts as a meeting
+      // and is caught by the sweep below (progress interval includes 0).
+    }
+    const std::int64_t room = kEdgeUnits - a.prog;
+    const std::int64_t step = delta < room ? delta : room;
+    const std::int64_t from = a.prog;
+    const bool halted = process_sweep(idx, from, from + step);
+    consumed += a.prog - from;
+    if (halted) break;
+    delta -= step;
+    if (a.prog == kEdgeUnits) {
+      ++a.completed;
+      a.at = a.cur->to;
+      a.cur.reset();
+      a.prog = 0;
+    }
+  }
+  return consumed;
+}
+
+bool SimEngine::would_meet_within_edge(int idx, std::int64_t delta) const {
+  const AgentState& a = agents_[checked(idx)];
+  if (!a.cur || delta <= 0) return false;
+  std::int64_t target = a.prog + delta;
+  if (target > kEdgeUnits) target = kEdgeUnits;
+  for (int j = 0; j < agent_count(); ++j) {
+    if (j == idx) continue;
+    if (sweep_contact(*g_, *a.cur, a.prog, target, position(j))) return true;
+  }
+  return false;
+}
+
+RendezvousResult run_rendezvous(SimEngine& engine, Adversary& adv,
+                                std::uint64_t max_total_traversals) {
+  RendezvousResult res;
+  // Guards against adversaries that stop making progress (e.g. endlessly
+  // oscillating): the walk in each edge must eventually cover all of it.
+  const std::uint64_t max_steps = 16 * max_total_traversals + (1u << 20);
+  std::uint64_t steps = 0;
+  while (!engine.met()) {
+    if (engine.charged_traversals(0) + engine.charged_traversals(1) >=
+            max_total_traversals ||
+        ++steps > max_steps) {
+      res.budget_exhausted = true;
+      break;
+    }
+    bool all_ended = true;
+    for (int i = 0; i < engine.agent_count() && all_ended; ++i) {
+      all_ended = engine.route_ended(i);
+    }
+    if (all_ended) break;  // everyone stopped, no meeting
+    const AdvStep step = adv.next(engine);
+    ASYNCRV_CHECK(step.agent >= 0 && step.agent < engine.agent_count());
+    engine.advance(step.agent, step.delta);
+  }
+  res.met = engine.met();
+  res.meeting_point = engine.meeting_point();
+  res.traversals_a = engine.charged_traversals(0);
+  res.traversals_b = engine.charged_traversals(1);
+  return res;
+}
+
+}  // namespace asyncrv::sim

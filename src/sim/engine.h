@@ -1,0 +1,172 @@
+// The unified event-driven simulation engine.
+//
+// SimEngine owns the *geometry* of an asynchronous execution for N >= 2
+// agents in one embedded graph: exact positions (micro-unit resolution),
+// sweeps, co-location / meeting detection, dormancy and wake events. It is
+// the single implementation behind both of the paper's models:
+//
+//  * the two-agent asynchronous rendezvous of Section 3 (TwoAgentSim is a
+//    thin adapter over a 2-agent Halt-policy engine), and
+//  * the k-agent SGL substrate of Section 4 (MultiAgentSim is a thin
+//    adapter over a Continue-policy engine that forwards events to the
+//    per-agent AgentLogic).
+//
+// Routes are supplied lazily: a MoveSource pulls one edge traversal at a
+// time (typically a suspended trajectory coroutine), so the engine never
+// materializes the astronomically long routes of the paper. Adversary
+// strategies (sim/adversary.h) drive any engine, regardless of N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/position.h"
+#include "traj/walker.h"
+
+namespace asyncrv {
+
+struct RendezvousResult {
+  bool met = false;
+  Pos meeting_point;
+  std::uint64_t traversals_a = 0;  ///< completed + the in-progress one
+  std::uint64_t traversals_b = 0;
+  std::uint64_t cost() const { return traversals_a + traversals_b; }
+  bool budget_exhausted = false;
+};
+
+class Adversary;  // see sim/adversary.h
+
+namespace sim {
+
+/// Lazily pulls the next edge traversal of an agent's route. nullopt means
+/// "no move available"; what that implies depends on the agent's EndPolicy.
+using MoveSource = std::function<std::optional<Move>()>;
+
+/// What a nullopt pull means for an agent.
+///  * Sticky: the route is over for good (the rendezvous model — the agent
+///    stops and stays put, like the baseline algorithm's agents).
+///  * Retry: the agent is merely idle right now and may produce a move
+///    after later events (the SGL model — e.g. a ghost waking up).
+enum class EndPolicy { Sticky, Retry };
+
+/// What happens when a sweep touches another agent.
+///  * Halt: the first contact ends the simulation — the mover stops at the
+///    exact contact point (the two-agent rendezvous model).
+///  * Continue: a meeting event fires for the co-located group and the
+///    mover keeps walking, exactly as in the paper's Section 4 model ("if
+///    the meeting is inside an edge, they continue the walk ... until
+///    reaching the other end").
+enum class MeetingPolicy { Halt, Continue };
+
+/// Receives the engine's events. Geometry stays in the engine; what a wake
+/// or a meeting *means* is the adapter's business (e.g. MultiAgentSim
+/// distributes a group meeting to every member's AgentLogic).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// A dormant agent was woken (by wake() or by a sweeping visitor). Fires
+  /// before the on_meeting of the waking contact, if any.
+  virtual void on_wake(int /*agent*/) {}
+  /// Agent `mover` swept over the co-located group `others` (simulator
+  /// indices, never containing `mover`), all at the same point.
+  virtual void on_meeting(int /*mover*/, const std::vector<int>& /*others*/) {}
+};
+
+/// Registration record for one agent.
+struct EngineAgentSpec {
+  MoveSource source;
+  Node start = 0;
+  bool awake = true;
+  EndPolicy end_policy = EndPolicy::Sticky;
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(const Graph& g, MeetingPolicy policy,
+                     EventSink* sink = nullptr)
+      : g_(&g), policy_(policy), sink_(sink) {}
+
+  /// Registers an agent; returns its index. Starts must be pairwise
+  /// distinct nodes (co-located starts would be an instant meeting).
+  int add_agent(EngineAgentSpec spec);
+
+  /// Advances agent idx by |delta| micro-units (forwards if delta > 0,
+  /// backwards within the current edge if delta < 0), pulling route moves
+  /// as edges complete and firing wake / meeting events along the way.
+  /// Returns the number of units actually walked — less than |delta| when
+  /// the agent is dormant, idle, out of route, or (Halt policy) stopped at
+  /// a contact point.
+  std::int64_t advance(int idx, std::int64_t delta);
+
+  /// Adversary-initiated wake-up. No-op on an awake agent.
+  void wake(int idx);
+
+  /// Would advancing (without committing) contact another agent within the
+  /// remainder of the current edge? False when the agent is at a node
+  /// (peeking would require consuming the route).
+  bool would_meet_within_edge(int idx, std::int64_t delta) const;
+
+  int agent_count() const { return static_cast<int>(agents_.size()); }
+  Pos position(int idx) const;
+  bool awake(int idx) const { return agents_[checked(idx)].awake; }
+  bool route_ended(int idx) const {
+    const AgentState& a = agents_[checked(idx)];
+    return a.ended && !a.cur;
+  }
+  bool mid_edge(int idx) const { return agents_[checked(idx)].cur.has_value(); }
+  std::uint64_t completed_traversals(int idx) const {
+    return agents_[checked(idx)].completed;
+  }
+  /// The in-progress traversal is charged once any part of it was walked.
+  std::uint64_t charged_traversals(int idx) const;
+  std::uint64_t total_traversals() const;
+
+  bool met() const { return met_; }
+  Pos meeting_point() const { return meeting_; }
+  const Graph& graph() const { return *g_; }
+
+ private:
+  struct AgentState {
+    MoveSource source;
+    std::optional<Move> cur;
+    std::int64_t prog = 0;  // progress along cur, in [0, kEdgeUnits]
+    Node at = 0;            // valid when !cur
+    std::uint64_t completed = 0;
+    bool awake = true;
+    bool ended = false;
+    EndPolicy end_policy = EndPolicy::Sticky;
+  };
+
+  std::size_t checked(int idx) const {
+    ASYNCRV_CHECK(idx >= 0 && idx < agent_count());
+    return static_cast<std::size_t>(idx);
+  }
+
+  /// Moves agent idx from from_prog to to_prog along its current edge,
+  /// firing events for every distinct contact point in sweep order.
+  /// Returns true if the engine halted at a contact (Halt policy).
+  bool process_sweep(int idx, std::int64_t from_prog, std::int64_t to_prog);
+
+  /// Wakes the group's dormant members, then fires one meeting event.
+  void fire_meeting(int mover, const std::vector<int>& group_at_point);
+
+  const Graph* g_;
+  MeetingPolicy policy_;
+  EventSink* sink_;
+  std::vector<AgentState> agents_;
+  bool met_ = false;
+  Pos meeting_;
+};
+
+/// Drives a Halt-policy engine with the adversary until a meeting, until
+/// every route has ended, or until the combined charged-traversal budget of
+/// agents 0 and 1 is exhausted — the run loop shared by TwoAgentSim and the
+/// scenario runner. (RendezvousResult reports agents 0 and 1; extra agents,
+/// if any, still participate in meeting detection.)
+RendezvousResult run_rendezvous(SimEngine& engine, Adversary& adv,
+                                std::uint64_t max_total_traversals);
+
+}  // namespace sim
+}  // namespace asyncrv

@@ -6,119 +6,44 @@ namespace asyncrv {
 
 int MultiAgentSim::add_agent(AgentLogic* logic, Node start, bool awake) {
   ASYNCRV_CHECK(logic != nullptr);
-  ASYNCRV_CHECK(start < g_->size());
-  for (const AgentState& a : agents_) {
-    ASYNCRV_CHECK_MSG(a.at != start || a.cur,
-                      "agents start at pairwise different nodes");
-  }
-  AgentState s;
-  s.logic = logic;
-  s.at = start;
-  s.awake = awake;
-  agents_.push_back(s);
-  return static_cast<int>(agents_.size()) - 1;
-}
-
-Pos MultiAgentSim::position(int idx) const {
-  const AgentState& a = agents_[static_cast<std::size_t>(idx)];
-  if (!a.cur) return Pos::at_node(a.at);
-  return pos_on_move(*g_, *a.cur, a.prog);
-}
-
-std::uint64_t MultiAgentSim::total_traversals() const {
-  std::uint64_t t = 0;
-  for (const AgentState& a : agents_) {
-    t += a.completed + ((a.cur && a.prog > 0) ? 1 : 0);
-  }
-  return t;
-}
-
-bool MultiAgentSim::all_done() const {
-  return std::all_of(agents_.begin(), agents_.end(),
-                     [](const AgentState& a) { return a.logic->done(); });
-}
-
-void MultiAgentSim::wake(int idx) {
-  AgentState& a = agents_[static_cast<std::size_t>(idx)];
-  if (a.awake) return;
-  a.awake = true;
-  a.logic->on_wake();
-}
-
-void MultiAgentSim::fire_meeting(int mover, const std::vector<int>& group) {
-  // Wake dormant members first (a woken agent participates in the meeting).
-  for (int i : group) wake(i);
-  // Every member, mover included, learns of the others.
-  std::vector<int> all = group;
-  all.push_back(mover);
-  for (int self : all) {
-    std::vector<int> others;
-    others.reserve(all.size() - 1);
-    for (int i : all) {
-      if (i != self) others.push_back(i);
-    }
-    agents_[static_cast<std::size_t>(self)].logic->on_meeting(others);
-  }
-}
-
-void MultiAgentSim::process_sweep(int idx, std::int64_t from_prog, std::int64_t to_prog) {
-  const AgentState& a = agents_[static_cast<std::size_t>(idx)];
-  // Collect contacts (other agent, progress parameter) within the sweep.
-  std::vector<std::pair<std::int64_t, int>> contacts;
-  for (int j = 0; j < agent_count(); ++j) {
-    if (j == idx) continue;
-    const auto c = sweep_contact(*g_, *a.cur, from_prog, to_prog, position(j));
-    if (c) contacts.emplace_back(*c, j);
-  }
-  if (contacts.empty()) return;
-  const bool forward = to_prog >= from_prog;
-  std::sort(contacts.begin(), contacts.end(),
-            [forward](const auto& x, const auto& y) {
-              return forward ? x.first < y.first : x.first > y.first;
-            });
-  // Group contacts at the same point into one meeting event.
-  std::size_t i = 0;
-  while (i < contacts.size()) {
-    std::size_t j = i;
-    std::vector<int> group;
-    while (j < contacts.size() && contacts[j].first == contacts[i].first) {
-      group.push_back(contacts[j].second);
-      ++j;
-    }
-    fire_meeting(idx, group);
-    i = j;
-  }
+  sim::EngineAgentSpec spec;
+  spec.source = [logic]() { return logic->next_move(); };
+  spec.start = start;
+  spec.awake = awake;
+  spec.end_policy = sim::EndPolicy::Retry;
+  const int idx = engine_.add_agent(std::move(spec));
+  logics_.push_back(logic);
+  return idx;
 }
 
 std::int64_t MultiAgentSim::advance(int idx, std::int64_t delta) {
   ASYNCRV_CHECK(idx >= 0 && idx < agent_count());
   ASYNCRV_CHECK(delta > 0);
-  AgentState& a = agents_[static_cast<std::size_t>(idx)];
-  if (!a.awake) return 0;
-  std::int64_t consumed = 0;
-  while (delta > 0) {
-    if (!a.cur) {
-      auto m = a.logic->next_move();
-      if (!m) return consumed;  // idle at a node
-      ASYNCRV_CHECK_MSG(m->from == a.at, "move must start at the agent's node");
-      a.cur = *m;
-      a.prog = 0;
+  return engine_.advance(idx, delta);
+}
+
+bool MultiAgentSim::all_done() const {
+  return std::all_of(logics_.begin(), logics_.end(),
+                     [](const AgentLogic* l) { return l->done(); });
+}
+
+void MultiAgentSim::on_wake(int agent) {
+  logics_[static_cast<std::size_t>(agent)]->on_wake();
+}
+
+void MultiAgentSim::on_meeting(int mover, const std::vector<int>& others) {
+  // Every member of the co-located group, mover included, learns of the
+  // other members present at the point.
+  std::vector<int> all = others;
+  all.push_back(mover);
+  for (int self : all) {
+    std::vector<int> rest;
+    rest.reserve(all.size() - 1);
+    for (int i : all) {
+      if (i != self) rest.push_back(i);
     }
-    const std::int64_t room = kEdgeUnits - a.prog;
-    const std::int64_t step = delta < room ? delta : room;
-    const std::int64_t from = a.prog;
-    a.prog += step;
-    process_sweep(idx, from, a.prog);
-    consumed += step;
-    delta -= step;
-    if (a.prog == kEdgeUnits) {
-      ++a.completed;
-      a.at = a.cur->to;
-      a.cur.reset();
-      a.prog = 0;
-    }
+    logics_[static_cast<std::size_t>(self)]->on_meeting(rest);
   }
-  return consumed;
 }
 
 }  // namespace asyncrv

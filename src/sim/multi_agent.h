@@ -1,4 +1,5 @@
-// Multi-agent asynchronous simulator — the substrate of Section 4.
+// Multi-agent asynchronous simulator — the substrate of Section 4, as a
+// thin adapter over sim::SimEngine (the unified N-agent geometry engine).
 //
 // k agents move in the same embedded graph under a single adversary that
 // advances one agent at a time. Dormant agents are woken either by the
@@ -8,6 +9,8 @@
 // previously acquired information"); the mover then continues — meetings
 // do not interrupt the walk, matching the paper ("if the meeting is inside
 // an edge, they continue the walk ... until reaching the other end").
+// The geometry (sweeps, contact ordering, wake-by-visit) is the engine's;
+// this adapter binds engine events to the per-agent AgentLogic protocol.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/engine.h"
 #include "sim/position.h"
 #include "traj/walker.h"
 
@@ -43,9 +47,10 @@ class AgentLogic {
   virtual bool done() const = 0;
 };
 
-class MultiAgentSim {
+class MultiAgentSim final : private sim::EventSink {
  public:
-  explicit MultiAgentSim(const Graph& g) : g_(&g) {}
+  explicit MultiAgentSim(const Graph& g)
+      : engine_(g, sim::MeetingPolicy::Continue, this) {}
 
   /// Registers an agent; returns its index. The logic must outlive the sim.
   int add_agent(AgentLogic* logic, Node start, bool awake);
@@ -56,36 +61,29 @@ class MultiAgentSim {
   std::int64_t advance(int idx, std::int64_t delta);
 
   /// Adversary-initiated wake-up.
-  void wake(int idx);
+  void wake(int idx) { engine_.wake(idx); }
 
-  int agent_count() const { return static_cast<int>(agents_.size()); }
-  Pos position(int idx) const;
-  bool awake(int idx) const { return agents_[static_cast<std::size_t>(idx)].awake; }
+  int agent_count() const { return engine_.agent_count(); }
+  Pos position(int idx) const { return engine_.position(idx); }
+  bool awake(int idx) const { return engine_.awake(idx); }
   std::uint64_t completed_traversals(int idx) const {
-    return agents_[static_cast<std::size_t>(idx)].completed;
+    return engine_.completed_traversals(idx);
   }
-  std::uint64_t total_traversals() const;
+  std::uint64_t total_traversals() const { return engine_.total_traversals(); }
   bool all_done() const;
-  const Graph& graph() const { return *g_; }
+  const Graph& graph() const { return engine_.graph(); }
+
+  /// The underlying unified engine.
+  const sim::SimEngine& engine() const { return engine_; }
+  sim::SimEngine& engine() { return engine_; }
 
  private:
-  struct AgentState {
-    AgentLogic* logic = nullptr;
-    std::optional<Move> cur;
-    std::int64_t prog = 0;
-    Node at = 0;
-    std::uint64_t completed = 0;
-    bool awake = false;
-  };
+  // sim::EventSink — translates engine events into the AgentLogic protocol.
+  void on_wake(int agent) override;
+  void on_meeting(int mover, const std::vector<int>& others) override;
 
-  /// Fires wake + meeting events for every distinct contact point of the
-  /// sweep [from_prog, to_prog] of agent idx, in sweep order.
-  void process_sweep(int idx, std::int64_t from_prog, std::int64_t to_prog);
-
-  void fire_meeting(int mover, const std::vector<int>& group_at_point);
-
-  const Graph* g_;
-  std::vector<AgentState> agents_;
+  sim::SimEngine engine_;
+  std::vector<AgentLogic*> logics_;
 };
 
 }  // namespace asyncrv

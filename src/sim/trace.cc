@@ -13,7 +13,7 @@ std::string Schedule::to_text() const {
   return os.str();
 }
 
-Schedule Schedule::from_text(const std::string& text) {
+Schedule Schedule::from_text(const std::string& text, int agent_count) {
   std::istringstream in(text);
   std::string magic1, magic2;
   std::size_t count = 0;
@@ -26,18 +26,16 @@ Schedule Schedule::from_text(const std::string& text) {
     AdvStep s;
     ASYNCRV_CHECK_MSG(static_cast<bool>(in >> s.agent >> s.delta),
                       "truncated schedule");
-    ASYNCRV_CHECK(s.agent == 0 || s.agent == 1);
+    ASYNCRV_CHECK(s.agent >= 0 && s.agent < agent_count);
     sched.steps.push_back(s);
   }
   return sched;
 }
 
-AdvStep ReplayAdversary::next(const TwoAgentSim& sim) {
+AdvStep ReplayAdversary::next(const sim::SimEngine& engine) {
   if (idx_ < schedule_.steps.size()) return schedule_.steps[idx_++];
-  fallback_turn_ = 1 - fallback_turn_;
-  const int agent =
-      sim.route_ended(fallback_turn_) ? 1 - fallback_turn_ : fallback_turn_;
-  return {agent, kEdgeUnits};
+  fallback_turn_ = (fallback_turn_ + 1) % engine.agent_count();
+  return {first_movable(engine, fallback_turn_), kEdgeUnits};
 }
 
 std::string TraceStats::summary() const {
@@ -50,15 +48,12 @@ std::string TraceStats::summary() const {
   return os.str();
 }
 
-TraceStats traced_run(TwoAgentSim& sim, std::unique_ptr<Adversary> adv,
-                      std::uint64_t budget, Schedule* schedule_out) {
-  Schedule local;
-  Schedule* sched = schedule_out != nullptr ? schedule_out : &local;
-  RecordingAdversary rec(std::move(adv), sched);
+TraceStats make_trace_stats(const RendezvousResult& result,
+                            const Schedule& schedule) {
   TraceStats stats;
-  stats.result = sim.run(rec, budget);
-  stats.schedule_steps = sched->steps.size();
-  for (const AdvStep& s : sched->steps) {
+  stats.result = result;
+  stats.schedule_steps = schedule.steps.size();
+  for (const AdvStep& s : schedule.steps) {
     if (s.delta < 0) ++stats.backward_steps;
     if (s.agent == 0) {
       ++stats.steps_agent_a;
@@ -67,6 +62,15 @@ TraceStats traced_run(TwoAgentSim& sim, std::unique_ptr<Adversary> adv,
     }
   }
   return stats;
+}
+
+TraceStats traced_run(TwoAgentSim& sim, std::unique_ptr<Adversary> adv,
+                      std::uint64_t budget, Schedule* schedule_out) {
+  Schedule local;
+  Schedule* sched = schedule_out != nullptr ? schedule_out : &local;
+  RecordingAdversary rec(std::move(adv), sched);
+  const RendezvousResult result = sim.run(rec, budget);
+  return make_trace_stats(result, *sched);
 }
 
 }  // namespace asyncrv

@@ -26,7 +26,8 @@ struct Schedule {
   std::vector<AdvStep> steps;
 
   std::string to_text() const;
-  static Schedule from_text(const std::string& text);
+  /// Parses a schedule; agent indices must lie in [0, agent_count).
+  static Schedule from_text(const std::string& text, int agent_count = 2);
 };
 
 /// Wraps an adversary, recording every decision into `schedule`.
@@ -35,8 +36,8 @@ class RecordingAdversary final : public Adversary {
   RecordingAdversary(std::unique_ptr<Adversary> inner, Schedule* schedule)
       : inner_(std::move(inner)), schedule_(schedule) {}
 
-  AdvStep next(const TwoAgentSim& sim) override {
-    const AdvStep s = inner_->next(sim);
+  AdvStep next(const sim::SimEngine& engine) override {
+    const AdvStep s = inner_->next(engine);
     schedule_->steps.push_back(s);
     return s;
   }
@@ -48,13 +49,13 @@ class RecordingAdversary final : public Adversary {
 };
 
 /// Plays a recorded schedule back verbatim; after the log is exhausted it
-/// falls back to strict alternation (so replays of truncated logs still
+/// falls back to strict rotation (so replays of truncated logs still
 /// terminate).
 class ReplayAdversary final : public Adversary {
  public:
   explicit ReplayAdversary(Schedule schedule) : schedule_(std::move(schedule)) {}
 
-  AdvStep next(const TwoAgentSim& sim) override;
+  AdvStep next(const sim::SimEngine& engine) override;
   std::string name() const override { return "replay"; }
 
  private:
@@ -72,6 +73,12 @@ struct TraceStats {
   std::uint64_t steps_agent_b = 0;
   std::string summary() const;
 };
+
+/// Derives the schedule-shape statistics from a recorded schedule — the
+/// single definition used by traced_run and by tools that record through
+/// the scenario runner (e.g. rv_cli).
+TraceStats make_trace_stats(const RendezvousResult& result,
+                            const Schedule& schedule);
 
 /// Runs the sim under `adv` while recording; returns stats + the schedule.
 TraceStats traced_run(TwoAgentSim& sim, std::unique_ptr<Adversary> adv,

@@ -16,112 +16,23 @@ RouteFn make_walker_route(const Graph& g, Node start,
 
 TwoAgentSim::TwoAgentSim(const Graph& g, RouteFn route_a, Node start_a,
                          RouteFn route_b, Node start_b)
-    : g_(&g) {
+    : engine_(g, sim::MeetingPolicy::Halt) {
   ASYNCRV_CHECK_MSG(start_a != start_b, "agents start at different nodes");
-  agents_[0].route = std::move(route_a);
-  agents_[0].at = start_a;
-  agents_[1].route = std::move(route_b);
-  agents_[1].at = start_b;
-}
-
-Pos TwoAgentSim::position(int idx) const {
-  const AgentState& a = agents_[idx];
-  if (!a.cur) return Pos::at_node(a.at);
-  return pos_on_move(*g_, *a.cur, a.prog);
-}
-
-std::uint64_t TwoAgentSim::charged_traversals(int idx) const {
-  const AgentState& a = agents_[idx];
-  // The in-progress traversal is charged once any part of it was walked.
-  return a.completed + ((a.cur && a.prog > 0) ? 1 : 0);
-}
-
-bool TwoAgentSim::sweep_and_move(int idx, std::int64_t from_prog, std::int64_t to_prog) {
-  AgentState& a = agents_[idx];
-  const Pos other = position(1 - idx);
-  const auto contact = sweep_contact(*g_, *a.cur, from_prog, to_prog, other);
-  if (contact) {
-    a.prog = *contact;
-    met_ = true;
-    meeting_ = other;
-    return true;
-  }
-  a.prog = to_prog;
-  return false;
+  engine_.add_agent({std::move(route_a), start_a, /*awake=*/true,
+                     sim::EndPolicy::Sticky});
+  engine_.add_agent({std::move(route_b), start_b, /*awake=*/true,
+                     sim::EndPolicy::Sticky});
 }
 
 bool TwoAgentSim::advance(int idx, std::int64_t delta) {
   ASYNCRV_CHECK(idx == 0 || idx == 1);
-  if (met_) return true;
-  AgentState& a = agents_[idx];
-
-  if (delta < 0) {
-    // Backward motion is confined to the current edge.
-    if (!a.cur) return false;
-    std::int64_t target = a.prog + delta;
-    if (target < 0) target = 0;
-    return sweep_and_move(idx, a.prog, target);
-  }
-
-  while (delta > 0) {
-    if (!a.cur) {
-      if (a.ended) return false;
-      auto m = a.route();
-      if (!m) {
-        a.ended = true;
-        return false;
-      }
-      ASYNCRV_CHECK_MSG(m->from == a.at, "route move must start at current node");
-      a.cur = *m;
-      a.prog = 0;
-      // Leaving a node: co-location at the node itself counts as a meeting
-      // and is caught by the sweep below (progress interval includes 0).
-    }
-    const std::int64_t room = kEdgeUnits - a.prog;
-    const std::int64_t step = delta < room ? delta : room;
-    if (sweep_and_move(idx, a.prog, a.prog + step)) return true;
-    delta -= step;
-    if (a.prog == kEdgeUnits) {
-      ++a.completed;
-      a.at = a.cur->to;
-      a.cur.reset();
-      a.prog = 0;
-    }
-  }
-  return false;
+  engine_.advance(idx, delta);
+  return engine_.met();
 }
 
-bool TwoAgentSim::would_meet_within_edge(int idx, std::int64_t delta) const {
-  const AgentState& a = agents_[idx];
-  if (!a.cur || delta <= 0) return false;
-  std::int64_t target = a.prog + delta;
-  if (target > kEdgeUnits) target = kEdgeUnits;
-  const Pos other = position(1 - idx);
-  return sweep_contact(*g_, *a.cur, a.prog, target, other).has_value();
-}
-
-RendezvousResult TwoAgentSim::run(Adversary& adv, std::uint64_t max_total_traversals) {
-  RendezvousResult res;
-  // Guards against adversaries that stop making progress (e.g. endlessly
-  // oscillating): the walk in each edge must eventually cover all of it.
-  const std::uint64_t max_steps = 16 * max_total_traversals + (1u << 20);
-  std::uint64_t steps = 0;
-  while (!met_) {
-    if (charged_traversals(0) + charged_traversals(1) >= max_total_traversals ||
-        ++steps > max_steps) {
-      res.budget_exhausted = true;
-      break;
-    }
-    if (route_ended(0) && route_ended(1)) break;  // both stopped, no meeting
-    const AdvStep step = adv.next(*this);
-    ASYNCRV_CHECK(step.agent == 0 || step.agent == 1);
-    advance(step.agent, step.delta);
-  }
-  res.met = met_;
-  res.meeting_point = meeting_;
-  res.traversals_a = charged_traversals(0);
-  res.traversals_b = charged_traversals(1);
-  return res;
+RendezvousResult TwoAgentSim::run(Adversary& adv,
+                                  std::uint64_t max_total_traversals) {
+  return sim::run_rendezvous(engine_, adv, max_total_traversals);
 }
 
 }  // namespace asyncrv

@@ -1,11 +1,15 @@
-// Two-agent asynchronous rendezvous simulator.
+// Two-agent asynchronous rendezvous simulator — a thin adapter over
+// sim::SimEngine (the unified N-agent geometry engine).
 //
 // Each agent supplies its route lazily (a RouteFn pulling one Move at a
 // time — typically a suspended trajectory coroutine). An Adversary decides,
 // step by step, which agent advances and by how many micro-units (possibly
 // backwards within the current edge). The simulation ends at the first
 // moment the two agents occupy the same point — in a node or inside an
-// edge, exactly as in the paper's model.
+// edge, exactly as in the paper's model. All geometry (positions, sweeps,
+// meeting detection) lives in the engine; this class only fixes N = 2, the
+// Halt meeting policy and the Sticky route-end policy, and keeps the
+// historical two-agent API.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <memory>
 #include <optional>
 
+#include "sim/engine.h"
 #include "sim/position.h"
 #include "traj/gen.h"
 #include "traj/walker.h"
@@ -21,22 +26,14 @@ namespace asyncrv {
 
 /// Lazily pulls the next edge traversal of a route; nullopt = route over
 /// (the agent stops and stays put, like the baseline algorithm's agents).
-using RouteFn = std::function<std::optional<Move>()>;
+/// The historical name for the engine's move source.
+using RouteFn = sim::MoveSource;
 
 /// Builds a RouteFn from a walker-driven trajectory generator. The walker
 /// and the generator are kept alive inside the returned function. The
 /// factory receives the walker so the caller can build any trajectory.
 RouteFn make_walker_route(const Graph& g, Node start,
                           const std::function<Generator<Move>(Walker&)>& make_gen);
-
-struct RendezvousResult {
-  bool met = false;
-  Pos meeting_point;
-  std::uint64_t traversals_a = 0;  ///< completed + the in-progress one
-  std::uint64_t traversals_b = 0;
-  std::uint64_t cost() const { return traversals_a + traversals_b; }
-  bool budget_exhausted = false;
-};
 
 class Adversary;  // see sim/adversary.h
 
@@ -58,33 +55,29 @@ class TwoAgentSim {
   /// Would advancing (without committing) meet the other agent within the
   /// remainder of the current edge? False when the agent is at a node
   /// (peeking would require consuming the route).
-  bool would_meet_within_edge(int idx, std::int64_t delta) const;
+  bool would_meet_within_edge(int idx, std::int64_t delta) const {
+    return engine_.would_meet_within_edge(idx, delta);
+  }
 
-  Pos position(int idx) const;
-  bool route_ended(int idx) const { return agents_[idx].ended && !agents_[idx].cur; }
-  bool mid_edge(int idx) const { return agents_[idx].cur.has_value(); }
-  std::uint64_t completed_traversals(int idx) const { return agents_[idx].completed; }
-  std::uint64_t charged_traversals(int idx) const;
-  bool met() const { return met_; }
-  Pos meeting_point() const { return meeting_; }
-  const Graph& graph() const { return *g_; }
+  Pos position(int idx) const { return engine_.position(idx); }
+  bool route_ended(int idx) const { return engine_.route_ended(idx); }
+  bool mid_edge(int idx) const { return engine_.mid_edge(idx); }
+  std::uint64_t completed_traversals(int idx) const {
+    return engine_.completed_traversals(idx);
+  }
+  std::uint64_t charged_traversals(int idx) const {
+    return engine_.charged_traversals(idx);
+  }
+  bool met() const { return engine_.met(); }
+  Pos meeting_point() const { return engine_.meeting_point(); }
+  const Graph& graph() const { return engine_.graph(); }
+
+  /// The underlying unified engine (adversaries consume this view).
+  const sim::SimEngine& engine() const { return engine_; }
+  sim::SimEngine& engine() { return engine_; }
 
  private:
-  struct AgentState {
-    RouteFn route;
-    std::optional<Move> cur;
-    std::int64_t prog = 0;  // progress along cur, in [0, kEdgeUnits]
-    Node at = 0;            // valid when !cur
-    std::uint64_t completed = 0;
-    bool ended = false;
-  };
-
-  bool sweep_and_move(int idx, std::int64_t from_prog, std::int64_t to_prog);
-
-  const Graph* g_;
-  AgentState agents_[2];
-  bool met_ = false;
-  Pos meeting_;
+  sim::SimEngine engine_;
 };
 
 }  // namespace asyncrv

@@ -1,0 +1,196 @@
+// The unified N-agent engine: Halt vs Continue meeting policies, Sticky vs
+// Retry route ends, wake events, sweep ordering with three and more agents,
+// and adversary strategies driving engines with N > 2 agents.
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "graph/builders.h"
+#include "sim/adversary.h"
+
+namespace asyncrv {
+namespace {
+
+/// A scripted move source: a fixed list of ports from a start node.
+sim::MoveSource scripted(const Graph& g, Node start, std::vector<Port> ports) {
+  auto state = std::make_shared<std::pair<Node, std::deque<Port>>>(
+      start, std::deque<Port>(ports.begin(), ports.end()));
+  return [&g, state]() -> std::optional<Move> {
+    if (state->second.empty()) return std::nullopt;
+    const Port p = state->second.front();
+    state->second.pop_front();
+    const Graph::Half h = g.step(state->first, p);
+    Move m{state->first, h.to, p, h.port_at_to};
+    state->first = h.to;
+    return m;
+  };
+}
+
+/// Records every engine event, in order.
+struct RecordingSink final : sim::EventSink {
+  struct Event {
+    bool wake = false;
+    int who = -1;                 // woken agent / mover
+    std::vector<int> others;      // meetings only
+  };
+  std::vector<Event> events;
+
+  void on_wake(int agent) override { events.push_back({true, agent, {}}); }
+  void on_meeting(int mover, const std::vector<int>& others) override {
+    events.push_back({false, mover, others});
+  }
+};
+
+TEST(SimEngine, HaltPolicyStopsAtFirstContact) {
+  Graph g = make_edge();
+  sim::SimEngine eng(g, sim::MeetingPolicy::Halt);
+  eng.add_agent({scripted(g, 0, {0}), 0});
+  eng.add_agent({scripted(g, 1, {0}), 1});
+  EXPECT_EQ(eng.advance(0, kEdgeUnits / 2), kEdgeUnits / 2);
+  // Walking the full edge head-on must stop at the other agent, mid-edge.
+  const std::int64_t consumed = eng.advance(1, kEdgeUnits);
+  EXPECT_LT(consumed, kEdgeUnits) << "halted at the contact point";
+  EXPECT_TRUE(eng.met());
+  EXPECT_EQ(eng.meeting_point().kind, Pos::Kind::Edge);
+  // Once met, a Halt engine is frozen.
+  EXPECT_EQ(eng.advance(0, kEdgeUnits), 0);
+}
+
+TEST(SimEngine, ContinuePolicySweepsThroughContacts) {
+  Graph g = make_path(3);
+  RecordingSink sink;
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue, &sink);
+  eng.add_agent({scripted(g, 0, {0, 1}), 0, true, sim::EndPolicy::Retry});
+  eng.add_agent({scripted(g, 1, {}), 1, true, sim::EndPolicy::Retry});
+  // The mover crosses node 1 (meeting the idle agent) and keeps going. Both
+  // sweeps include the shared endpoint, so the co-location at node 1 fires
+  // once on arrival and once on departure — exactly like the legacy
+  // simulator.
+  EXPECT_EQ(eng.advance(0, 2 * kEdgeUnits), 2 * kEdgeUnits);
+  EXPECT_FALSE(eng.met()) << "Continue engines never enter the met state";
+  ASSERT_EQ(sink.events.size(), 2u);
+  for (const auto& ev : sink.events) {
+    EXPECT_FALSE(ev.wake);
+    EXPECT_EQ(ev.who, 0);
+    EXPECT_EQ(ev.others, std::vector<int>{1});
+  }
+}
+
+TEST(SimEngine, StickyEndIsPermanentRetryIsNot) {
+  Graph g = make_path(3);
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue);
+  int pulls_sticky = 0, pulls_retry = 0;
+  eng.add_agent({[&]() -> std::optional<Move> {
+                   ++pulls_sticky;
+                   return std::nullopt;
+                 },
+                 0, true, sim::EndPolicy::Sticky});
+  eng.add_agent({[&]() -> std::optional<Move> {
+                   ++pulls_retry;
+                   return std::nullopt;
+                 },
+                 2, true, sim::EndPolicy::Retry});
+  EXPECT_EQ(eng.advance(0, kEdgeUnits), 0);
+  EXPECT_EQ(eng.advance(0, kEdgeUnits), 0);
+  EXPECT_TRUE(eng.route_ended(0));
+  EXPECT_EQ(pulls_sticky, 1) << "a Sticky source is never asked again";
+  EXPECT_EQ(eng.advance(1, kEdgeUnits), 0);
+  EXPECT_EQ(eng.advance(1, kEdgeUnits), 0);
+  EXPECT_FALSE(eng.route_ended(1));
+  EXPECT_EQ(pulls_retry, 2) << "a Retry source is asked on every advance";
+}
+
+TEST(SimEngine, WakeFiresBeforeMeeting) {
+  Graph g = make_path(3);
+  RecordingSink sink;
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue, &sink);
+  eng.add_agent({scripted(g, 0, {0, 1}), 0, true, sim::EndPolicy::Retry});
+  eng.add_agent({scripted(g, 2, {}), 2, /*awake=*/false, sim::EndPolicy::Retry});
+  EXPECT_FALSE(eng.awake(1));
+  EXPECT_EQ(eng.advance(1, kEdgeUnits), 0) << "dormant agents do not move";
+  eng.advance(0, 2 * kEdgeUnits);
+  EXPECT_TRUE(eng.awake(1));
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_TRUE(sink.events[0].wake);
+  EXPECT_EQ(sink.events[0].who, 1);
+  EXPECT_FALSE(sink.events[1].wake);
+}
+
+TEST(SimEngine, ThreeAgentSweepContactsFireInOrder) {
+  // Two stationary agents inside the same edge; the mover must meet the
+  // nearer one first, as two distinct meeting events.
+  Graph g = make_path(3);
+  RecordingSink sink;
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue, &sink);
+  eng.add_agent({scripted(g, 0, {0}), 0, true, sim::EndPolicy::Retry});
+  eng.add_agent({scripted(g, 1, {0}), 1, true, sim::EndPolicy::Retry});
+  eng.add_agent({scripted(g, 2, {0, 0}), 2, true, sim::EndPolicy::Retry});
+  eng.advance(1, (3 * kEdgeUnits) / 4);            // 1/4 from node 0
+  eng.advance(2, kEdgeUnits + kEdgeUnits / 4);     // 3/4 from node 0
+  sink.events.clear();
+  eng.advance(0, kEdgeUnits);
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].others, std::vector<int>{1}) << "nearer first";
+  EXPECT_EQ(sink.events[1].others, std::vector<int>{2});
+}
+
+TEST(SimEngine, HaltEngineWithThreeAgents) {
+  // The rendezvous machinery generalizes beyond N = 2: a third stationary
+  // agent parked mid-path is met first.
+  Graph g = make_path(5);
+  sim::SimEngine eng(g, sim::MeetingPolicy::Halt);
+  eng.add_agent({scripted(g, 0, {0, 1, 1, 1}), 0});
+  eng.add_agent({scripted(g, 4, {}), 4});
+  eng.add_agent({scripted(g, 2, {}), 2});
+  eng.advance(0, 4 * kEdgeUnits);
+  EXPECT_TRUE(eng.met());
+  EXPECT_EQ(eng.meeting_point(), Pos::at_node(2));
+}
+
+TEST(SimEngine, AdversariesDriveThreeAgentEngines) {
+  // Every battery strategy must emit legal steps against an N = 3 engine.
+  Graph g = make_ring(6);
+  for (auto& adv : adversary_battery(17)) {
+    sim::SimEngine eng(g, sim::MeetingPolicy::Continue);
+    eng.add_agent({scripted(g, 0, std::vector<Port>(64, 0)), 0, true,
+                   sim::EndPolicy::Sticky});
+    eng.add_agent({scripted(g, 2, std::vector<Port>(64, 0)), 2, true,
+                   sim::EndPolicy::Sticky});
+    eng.add_agent({scripted(g, 4, std::vector<Port>(64, 0)), 4, true,
+                   sim::EndPolicy::Sticky});
+    std::vector<bool> scheduled(3, false);
+    for (int i = 0; i < 200; ++i) {
+      const AdvStep s = adv->next(eng);
+      ASSERT_GE(s.agent, 0) << adv->name();
+      ASSERT_LT(s.agent, 3) << adv->name();
+      scheduled[static_cast<std::size_t>(s.agent)] = true;
+      eng.advance(s.agent, s.delta);
+    }
+    EXPECT_TRUE(scheduled[0] && scheduled[1] && scheduled[2])
+        << adv->name() << " must give every agent time";
+  }
+}
+
+TEST(SimEngine, ChargedAndTotalTraversals) {
+  Graph g = make_ring(4);
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue);
+  eng.add_agent({scripted(g, 0, {0, 0}), 0, true, sim::EndPolicy::Retry});
+  eng.add_agent({scripted(g, 2, {0}), 2, true, sim::EndPolicy::Retry});
+  eng.advance(0, 2 * kEdgeUnits);
+  eng.advance(1, kEdgeUnits / 2);
+  EXPECT_EQ(eng.completed_traversals(0), 2u);
+  EXPECT_EQ(eng.charged_traversals(1), 1u) << "partial traversal charged";
+  EXPECT_EQ(eng.total_traversals(), 3u);
+}
+
+TEST(SimEngine, RejectsDuplicateStarts) {
+  Graph g = make_path(3);
+  sim::SimEngine eng(g, sim::MeetingPolicy::Halt);
+  eng.add_agent({scripted(g, 0, {}), 0});
+  EXPECT_THROW(eng.add_agent({scripted(g, 0, {}), 0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,221 @@
+// The scenario runner: registry parsing, single-scenario execution, error
+// containment, streamed callbacks, and — the load-bearing property — that a
+// multi-threaded sweep produces a report bit-identical to the
+// single-threaded one (per-scenario seeded PRNGs, no shared state).
+#include "runner/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runner/registry.h"
+
+namespace asyncrv {
+namespace {
+
+TEST(Registry, ParsesEveryFamily) {
+  EXPECT_EQ(runner::make_graph("edge").size(), 2u);
+  EXPECT_EQ(runner::make_graph("ring:6").size(), 6u);
+  EXPECT_EQ(runner::make_graph("path:4").size(), 4u);
+  EXPECT_EQ(runner::make_graph("complete:5").edge_count(), 10u);
+  EXPECT_EQ(runner::make_graph("star:5").size(), 5u);
+  EXPECT_EQ(runner::make_graph("grid:3x4").size(), 12u);
+  EXPECT_EQ(runner::make_graph("torus:3x3").size(), 9u);
+  EXPECT_EQ(runner::make_graph("bipartite:2x3").size(), 5u);
+  EXPECT_EQ(runner::make_graph("tree:8:12").size(), 8u);
+  EXPECT_EQ(runner::make_graph("lollipop:6:3").size(), 6u);
+  EXPECT_EQ(runner::make_graph("barbell:3:2").size(), 8u);
+  EXPECT_EQ(runner::make_graph("hypercube:3").size(), 8u);
+  EXPECT_EQ(runner::make_graph("random:7:3:21").size(), 7u);
+  EXPECT_EQ(runner::make_graph("petersen").size(), 10u);
+  // Port-shuffled twin: same topology, different instance.
+  EXPECT_EQ(runner::make_graph("ring:6@7").size(), 6u);
+  EXPECT_THROW(runner::make_graph("moebius:6"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("ring"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("ring:x"), std::logic_error);
+  // Negative arguments must not wrap through stoull into giant graphs.
+  EXPECT_THROW(runner::make_graph("ring:-3"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("grid:3x-4"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("ring:"), std::logic_error);
+  // Oversized node counts are rejected rather than truncated through the
+  // uint32 Node type ("ring:4294967299" would otherwise become ring(3)).
+  EXPECT_THROW(runner::make_graph("ring:4294967299"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("ring:1000001"), std::logic_error);
+  // The per-dimension AND product caps for 2-d families ("grid:100000x
+  // 100000" would otherwise wrap w*h inside the builder).
+  EXPECT_THROW(runner::make_graph("grid:100000x100000"), std::logic_error);
+}
+
+TEST(Registry, CatalogIdsMatchCatalog) {
+  // The id list reproduces graph/catalog.h's small battery node-for-node.
+  const auto ids = runner::small_catalog_ids();
+  ASSERT_FALSE(ids.empty());
+  for (const std::string& id : ids) {
+    EXPECT_GE(runner::make_graph(id).size(), 2u) << id;
+  }
+}
+
+TEST(Registry, AdversaryNames) {
+  for (const std::string& name : adversary_battery_names()) {
+    EXPECT_NE(runner::make_adversary(name, 1), nullptr) << name;
+  }
+  EXPECT_NE(runner::make_adversary("stall:1:5000", 1), nullptr);
+  EXPECT_THROW(runner::make_adversary("gremlin", 1), std::logic_error);
+  EXPECT_THROW(runner::make_adversary("stall:99999999999999:5", 1),
+               std::logic_error);
+  EXPECT_THROW(runner::make_ppoly("huge"), std::logic_error);
+}
+
+TEST(Registry, StallAgentOutOfRangeIsAnErrorOutcome) {
+  // "stall:7:..." on a 2-agent scenario names a nonexistent agent; the
+  // adversary rejects it at run time, surfaced as a contained error.
+  runner::ScenarioSpec spec;
+  spec.graph = "ring:4";
+  spec.adversary = "stall:7:2000";
+  spec.labels = {5, 12};
+  spec.budget = 100'000;
+  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("stalled agent index out of range"),
+            std::string::npos)
+      << out.error;
+}
+
+TEST(Runner, SingleRendezvousScenario) {
+  runner::ScenarioSpec spec;
+  spec.graph = "ring:5";
+  spec.adversary = "fair";
+  spec.labels = {5, 12};
+  spec.budget = 2'000'000;
+  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  EXPECT_TRUE(out.error.empty()) << out.error;
+  EXPECT_TRUE(out.ok);
+  EXPECT_GT(out.cost, 0u);
+  EXPECT_EQ(out.cost, out.rv.cost());
+}
+
+TEST(Runner, RecordsScheduleOnRequest) {
+  runner::ScenarioSpec spec;
+  spec.graph = "ring:5";
+  spec.adversary = "oscillating";
+  spec.labels = {5, 12};
+  spec.budget = 2'000'000;
+  spec.record_schedule = true;
+  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  ASSERT_TRUE(out.ok);
+  EXPECT_FALSE(out.schedule.steps.empty());
+}
+
+TEST(Runner, BadSpecsBecomeErrorOutcomesNotCrashes) {
+  runner::ScenarioSpec bad_graph;
+  bad_graph.graph = "gremlin:4";
+  bad_graph.labels = {1, 2};
+  runner::ScenarioSpec bad_labels;
+  bad_labels.graph = "ring:4";
+  bad_labels.labels = {1};  // rendezvous needs two
+
+  const runner::ScenarioReport report =
+      runner::ScenarioRunner().run({bad_graph, bad_labels});
+  EXPECT_EQ(report.errored, 2u);
+  EXPECT_FALSE(report.outcomes[0].error.empty());
+  EXPECT_FALSE(report.outcomes[1].error.empty());
+  EXPECT_NE(report.summary().find("2 errors"), std::string::npos);
+}
+
+TEST(Runner, SglScenarioCompletes) {
+  runner::ScenarioSpec spec;
+  spec.kind = runner::ScenarioKind::Sgl;
+  spec.graph = "ring:3";
+  spec.labels = {3, 7};
+  spec.budget = 60'000'000;
+  spec.seed = 5;
+  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  EXPECT_TRUE(out.error.empty()) << out.error;
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.sgl_apps.team_size.at(3), 2u);
+  EXPECT_EQ(out.sgl_apps.leader.at(7), 3u);
+}
+
+TEST(Runner, StreamedCallbackSeesEveryScenario) {
+  const auto specs = runner::rendezvous_sweep(
+      {"ring:4", "path:3"}, {"fair", "random50"}, {{5, 12}}, 1'000'000, 1);
+  ASSERT_EQ(specs.size(), 4u);
+  std::set<std::size_t> seen;
+  runner::RunnerOptions opts;
+  opts.threads = 2;
+  opts.on_outcome = [&](const runner::ScenarioSpec&,
+                        const runner::ScenarioOutcome& out) {
+    seen.insert(out.index);
+  };
+  const runner::ScenarioReport report =
+      runner::ScenarioRunner(opts).run(specs);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(report.scenarios, 4u);
+}
+
+TEST(Runner, ThrowingCallbackIsContained) {
+  const auto specs = runner::rendezvous_sweep({"ring:4"}, {"fair", "random50"},
+                                              {{5, 12}}, 1'000'000, 3);
+  runner::RunnerOptions opts;
+  opts.threads = 2;
+  opts.on_outcome = [](const runner::ScenarioSpec&,
+                       const runner::ScenarioOutcome&) {
+    throw std::runtime_error("progress pipe closed");
+  };
+  const runner::ScenarioReport report =
+      runner::ScenarioRunner(opts).run(specs);  // must not std::terminate
+  EXPECT_EQ(report.errored, 2u);
+  EXPECT_NE(report.outcomes[0].error.find("on_outcome callback threw"),
+            std::string::npos);
+}
+
+/// Field-by-field equality of two outcomes (rendezvous arm).
+void expect_identical(const runner::ScenarioOutcome& a,
+                      const runner::ScenarioOutcome& b,
+                      const std::string& ctx) {
+  EXPECT_EQ(a.index, b.index) << ctx;
+  EXPECT_EQ(a.ok, b.ok) << ctx;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << ctx;
+  EXPECT_EQ(a.cost, b.cost) << ctx;
+  EXPECT_EQ(a.error, b.error) << ctx;
+  EXPECT_EQ(a.rv.met, b.rv.met) << ctx;
+  EXPECT_EQ(a.rv.traversals_a, b.rv.traversals_a) << ctx;
+  EXPECT_EQ(a.rv.traversals_b, b.rv.traversals_b) << ctx;
+  EXPECT_TRUE(a.rv.meeting_point == b.rv.meeting_point) << ctx;
+}
+
+TEST(Runner, HundredScenarioSweepIsThreadCountInvariant) {
+  // >= 100 scenarios: 5 cheap graphs x 10 adversaries x 2 label pairs.
+  const auto specs = runner::rendezvous_sweep(
+      {"edge", "path:3", "ring:3", "ring:4", "star:5"},
+      adversary_battery_names(), {{1, 2}, {5, 12}},
+      /*budget=*/400'000, /*seed=*/0xbeef);
+  ASSERT_GE(specs.size(), 100u);
+
+  runner::RunnerOptions serial;
+  serial.threads = 1;
+  const runner::ScenarioReport base = runner::ScenarioRunner(serial).run(specs);
+
+  for (int threads : {2, 4}) {
+    runner::RunnerOptions opts;
+    opts.threads = threads;
+    const runner::ScenarioReport par = runner::ScenarioRunner(opts).run(specs);
+    ASSERT_EQ(par.outcomes.size(), base.outcomes.size());
+    for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+      expect_identical(base.outcomes[i], par.outcomes[i],
+                       specs[i].display() + " @" + std::to_string(threads));
+    }
+    // The whole aggregated report — including its rendering — is
+    // bit-identical.
+    EXPECT_EQ(par.scenarios, base.scenarios);
+    EXPECT_EQ(par.succeeded, base.succeeded);
+    EXPECT_EQ(par.unresolved, base.unresolved);
+    EXPECT_EQ(par.errored, base.errored);
+    EXPECT_EQ(par.total_cost, base.total_cost);
+    EXPECT_EQ(par.max_cost, base.max_cost);
+    EXPECT_EQ(par.table(), base.table());
+  }
+}
+
+}  // namespace
+}  // namespace asyncrv
