@@ -2,64 +2,63 @@
 //
 // The same agent pair runs against every adversary strategy on every graph
 // of the small battery. The paper's guarantee is schedule-independent; the
-// table shows how much each schedule actually hurts (cost dispersion), with
+// tables show how much each schedule actually hurts (cost dispersion), with
 // the greedy meeting-avoider as the empirically harshest schedule.
 //
-// The full graph × adversary cross product is described as ScenarioSpecs
-// and executed by the parallel ScenarioRunner; the table is then printed
-// from the (deterministic, spec-ordered) aggregated report.
+// The full graph × adversary cross product is described as ExperimentSpecs
+// and executed by the ExperimentPipeline; every table — the graph ×
+// adversary cost matrix, the per-adversary rollup, and the optional
+// CSV/JSONL row dumps — is emitted through result sinks from the
+// (deterministic, spec-ordered) report. Supports the shared sweep flags
+// (--csv/--jsonl/--cache-dir/--threads).
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/cli.h"
 #include "runner/registry.h"
-#include "runner/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrv;
-  bench::header("E9 (bench_adversaries)", "Adversary model ablation",
-                "meeting cost per adversary strategy, labels (9, 14)");
+  runner::PipelineCli cli;
+  if (!cli.parse_flags_only("bench_adversaries", argc, argv)) return 1;
 
-  const auto graphs = runner::small_catalog_ids();
-  const auto names = adversary_battery_names();
+  runner::banner("E9 (bench_adversaries)", "Adversary model ablation",
+                 "meeting cost per adversary strategy, labels (9, 14)");
 
-  std::vector<runner::ScenarioSpec> specs;
-  for (const std::string& g : graphs) {
-    for (const std::string& adv : names) {
-      runner::ScenarioSpec spec;
-      spec.graph = g;
-      spec.adversary = adv;
-      spec.labels = {9, 14};
-      spec.budget = 40'000'000;
+  std::vector<runner::ExperimentSpec> specs;
+  for (const std::string& g : runner::small_catalog_ids()) {
+    for (const std::string& adv : adversary_battery_names()) {
+      runner::RendezvousSpec rv;
+      rv.graph = g;
+      rv.adversary = adv;
+      rv.labels = {9, 14};
+      rv.budget = 40'000'000;
       // Reproduces the historical adversary_battery(0xE9) streams.
-      spec.seed = runner::battery_seed(adv, 0xE9);
-      specs.push_back(std::move(spec));
+      rv.seed = runner::battery_seed(adv, 0xE9);
+      specs.push_back({.name = "", .scenario = std::move(rv)});
     }
   }
 
-  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(cli.options()).run(std::move(specs));
 
-  std::cout << std::setw(18) << "graph";
-  for (const auto& nm : names) std::cout << std::setw(12) << nm;
-  std::cout << "\n";
+  runner::ConsoleSink console;
+  const runner::Pivot matrix =
+      runner::pivot(report.schema, report.rows, "graph", "adversary",
+                    runner::cost_or_status(report.schema));
+  runner::emit(console, matrix.schema, matrix.rows);
 
-  std::vector<std::uint64_t> worst_per_adv(names.size(), 0);
-  std::size_t i = 0;
-  for (const std::string& g : graphs) {
-    std::cout << std::setw(18) << g;
-    for (std::size_t ai = 0; ai < names.size(); ++ai, ++i) {
-      const runner::ScenarioOutcome& out = report.outcomes[i];
-      std::cout << std::setw(12)
-                << (out.ok ? std::to_string(out.cost) : "no-meet");
-      if (out.ok && out.cost > worst_per_adv[ai]) worst_per_adv[ai] = out.cost;
-    }
-    std::cout << "\n";
-  }
-  std::cout << "\nworst cost per adversary:\n";
-  for (std::size_t ai = 0; ai < names.size(); ++ai) {
-    std::cout << std::setw(14) << names[ai] << " : " << worst_per_adv[ai] << "\n";
-  }
+  std::cout << "\nper-adversary rollup (max_met_cost = worst schedule damage "
+               "among meetings):\n";
+  const auto [schema, rows] =
+      runner::group_table("adversary", report.group_by("adversary"));
+  runner::emit(console, schema, rows);
+
   std::cout << "\n" << report.summary() << "\n";
+  if (cli.has_cache()) {
+    std::cout << "cache: " << report.cache_hits << " hits, " << report.executed
+              << " executed\n";
+  }
   std::cout << "\nMeetings under every schedule — the guarantee is schedule-"
                "independent, the cost is not.\n";
-  return report.errored == 0 ? 0 : 1;
+  return report.totals.errored == 0 ? 0 : 1;
 }

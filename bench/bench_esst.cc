@@ -6,16 +6,17 @@
 // consumes) and the bound check n < t <= 9n+3; a final series on rings
 // estimates the cost growth exponent.
 #include <cmath>
+#include <iomanip>
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "esst/esst.h"
 #include "graph/builders.h"
 #include "graph/catalog.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E5 (bench_esst)", "Theorem 2.1: ESST cost and phase bound",
+  runner::banner("E5 (bench_esst)", "Theorem 2.1: ESST cost and phase bound",
                 "cost(n) polynomial; successful phase t with n < t <= 9n+3");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);

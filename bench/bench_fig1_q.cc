@@ -6,15 +6,16 @@
 // verifies the X-excursion boundaries (each excursion returns to v) and
 // prints the per-excursion lengths and the total |Q(k)| against the exact
 // calculus.
+#include <iomanip>
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "graph/builders.h"
 #include "traj/traj.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E1 (bench_fig1_q)", "Figure 1: trajectory Q(k, v)",
+  runner::banner("E1 (bench_fig1_q)", "Figure 1: trajectory Q(k, v)",
                 "Q(k,v) = X(1,v) X(2,v) ... X(k,v); every X returns to v");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);

@@ -5,16 +5,17 @@
 // Q(k, vs). This harness walks Y'(k, v) for increasing k, checks that the
 // trunk extracted from between the insertions is exactly R(k, v), and
 // prints the insertion-count/offset table.
+#include <iomanip>
 #include <iostream>
 #include <vector>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "graph/builders.h"
 #include "traj/traj.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E2 (bench_fig2_yprime)", "Figure 2: trajectory Y'(k, v1)",
+  runner::banner("E2 (bench_fig2_yprime)", "Figure 2: trajectory Y'(k, v1)",
                 "trunk R(k,v1) with Q(k,vi) inserted at every trunk node");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);

@@ -4,15 +4,16 @@
 // excursions are the much heavier Y trajectories. The harness walks Z,
 // verifies each Y-excursion boundary returns to the anchor, and prints the
 // series |Y(i)| (the per-ring sizes in the figure) plus |Z(k)|.
+#include <iomanip>
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "graph/builders.h"
 #include "traj/traj.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E3 (bench_fig3_z)", "Figure 3: trajectory Z(k, v)",
+  runner::banner("E3 (bench_fig3_z)", "Figure 3: trajectory Z(k, v)",
                 "Z(k,v) = Y(1,v) ... Y(k,v); every Y returns to v");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);

@@ -5,16 +5,17 @@
 // trunk is preserved under the (heavy) Z insertions and prints |Z(k)|,
 // |A'(k)| and |A(k)| series; it also confirms A = A' + reverse returns to
 // the anchor.
+#include <iomanip>
 #include <iostream>
 #include <vector>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "graph/builders.h"
 #include "traj/traj.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E4 (bench_fig4_aprime)", "Figure 4: trajectory A'(k, v1)",
+  runner::banner("E4 (bench_fig4_aprime)", "Figure 4: trajectory A'(k, v1)",
                 "trunk R(k,v1) with Z(k,vi) inserted at every trunk node");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);

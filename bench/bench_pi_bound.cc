@@ -4,9 +4,10 @@
 // the adversary battery, and the calibrated executable bound Π̂ sitting
 // between them. This is the quantitative justification for the
 // substitution documented in DESIGN.md §2.2.
+#include <iomanip>
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "graph/builders.h"
 #include "rv/pi_bound.h"
 #include "traj/lengths_approx.h"
@@ -16,7 +17,7 @@
 
 int main() {
   using namespace asyncrv;
-  bench::header("E10 (bench_pi_bound)", "Theorem 3.1: the bound Pi(n, m)",
+  runner::banner("E10 (bench_pi_bound)", "Theorem 3.1: the bound Pi(n, m)",
                 "faithful Pi (log10) vs calibrated Pi-hat vs measured worst");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);

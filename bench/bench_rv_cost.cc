@@ -5,75 +5,94 @@
 //   (a) cost vs n on rings and paths (fixed labels), per adversary class;
 //   (b) cost vs |L_min| on a fixed graph (labels with growing bit-length).
 // Absolute numbers are simulator-specific; the claim reproduced is the
-// polynomial (slowly growing) shape in both parameters.
-#include <cmath>
+// polynomial (slowly growing) shape in both parameters. Both sweeps are one
+// ExperimentPipeline batch (historical battery seeds preserved via
+// battery_seed); tables are emitted through result sinks. Supports
+// --csv/--jsonl/--cache-dir/--threads.
 #include <iostream>
 
-#include "bench/bench_common.h"
-#include "graph/builders.h"
+#include "runner/cli.h"
+#include "runner/registry.h"
 #include "rv/label.h"
-#include "rv/rv_route.h"
-#include "sim/adversary.h"
-#include "sim/two_agent.h"
 
-namespace {
-
-using namespace asyncrv;
-
-RendezvousResult once(const Graph& g, const TrajKit& kit, std::uint64_t la,
-                      std::uint64_t lb, Adversary& adv) {
-  auto ra = make_walker_route(g, 0,
-                              [&](Walker& w) { return rv_route(w, kit, la, nullptr); });
-  const Node sb = g.size() / 2;
-  auto rb = make_walker_route(g, sb,
-                              [&](Walker& w) { return rv_route(w, kit, lb, nullptr); });
-  TwoAgentSim sim(g, ra, 0, rb, sb);
-  return sim.run(adv, 80'000'000);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrv;
-  bench::header("E6 (bench_rv_cost)",
-                "Theorem 3.1: cost polynomial in n and |L_min|",
-                "(a) cost vs n; (b) cost vs label length; per adversary");
+  runner::PipelineCli cli;
+  if (!cli.parse_flags_only("bench_rv_cost", argc, argv)) return 1;
 
-  const TrajKit kit(PPoly::tiny(), 0x5eed0001);
+  runner::banner("E6 (bench_rv_cost)",
+                 "Theorem 3.1: cost polynomial in n and |L_min|",
+                 "(a) cost vs n; (b) cost vs label length; per adversary");
 
-  std::cout << "(a) cost vs n, labels (6, 17):\n";
-  std::cout << std::setw(10) << "family" << std::setw(6) << "n";
-  for (const auto& nm : adversary_battery_names()) std::cout << std::setw(12) << nm;
-  std::cout << "\n";
-  for (Node n : {Node{4}, Node{6}, Node{8}, Node{12}}) {
-    for (int fam = 0; fam < 2; ++fam) {
-      const Graph g = fam == 0 ? make_ring(n) : make_path(n);
-      std::cout << std::setw(10) << (fam == 0 ? "ring" : "path") << std::setw(6) << n;
-      for (auto& adv : adversary_battery(1234)) {
-        const RendezvousResult res = once(g, kit, 6, 17, *adv);
-        std::cout << std::setw(12) << (res.met ? std::to_string(res.cost()) : "no-meet");
+  // One batch for both sweeps; section boundaries are index ranges.
+  std::vector<runner::ExperimentSpec> specs;
+
+  // (a) graph family × size × adversary battery, labels (6, 17), starts
+  // {0, n/2} — the historical harness placement and battery seeds.
+  const std::vector<Node> sizes = {Node{4}, Node{6}, Node{8}, Node{12}};
+  for (Node n : sizes) {
+    for (const std::string& family : {"ring", "path"}) {
+      for (const std::string& adv : adversary_battery_names()) {
+        runner::RendezvousSpec rv;
+        rv.graph = family + ":" + std::to_string(n);
+        rv.adversary = adv;
+        rv.labels = {6, 17};
+        rv.starts = {0, n / 2};
+        rv.budget = 80'000'000;
+        rv.seed = runner::battery_seed(adv, 1234);
+        specs.push_back({.name = "", .scenario = std::move(rv)});
       }
-      std::cout << "\n";
     }
   }
+  const std::size_t part_b_begin = specs.size();
 
-  std::cout << "\n(b) cost vs |L_min| on ring(6) (smaller label = 2^b + 1):\n";
-  std::cout << std::setw(10) << "|L_min|" << std::setw(14) << "label"
-            << std::setw(14) << "cost(random)" << std::setw(14) << "cost(stall)\n";
+  // (b) growing label length on ring(6): smaller label = 2^b + 1.
   for (int b = 1; b <= 12; b += 2) {
     const std::uint64_t la = (std::uint64_t{1} << b) + 1;
     const std::uint64_t lb = (std::uint64_t{1} << (b + 2)) + 3;
-    const Graph g = make_ring(6);
-    auto adv1 = make_random_adversary(77, 500);
-    auto adv2 = make_stall_adversary(0, 3000);
-    const RendezvousResult r1 = once(g, kit, la, lb, *adv1);
-    const RendezvousResult r2 = once(g, kit, la, lb, *adv2);
-    std::cout << std::setw(10) << label_length(la) << std::setw(14) << la
-              << std::setw(14) << (r1.met ? std::to_string(r1.cost()) : "no-meet")
-              << std::setw(14) << (r2.met ? std::to_string(r2.cost()) : "no-meet")
-              << "\n";
+    for (const auto& [adv, seed] :
+         std::vector<std::pair<std::string, std::uint64_t>>{
+             {"random", 77}, {"stall:0:3000", 0}}) {
+      runner::RendezvousSpec rv;
+      rv.graph = "ring:6";
+      rv.adversary = adv;
+      rv.labels = {la, lb};
+      rv.starts = {0, 3};
+      rv.budget = 80'000'000;
+      rv.seed = seed;
+      // Label the row by bit-length so the pivot below groups by |L_min|.
+      specs.push_back({.name = "|L|=" + std::to_string(label_length(la)) +
+                               " L=" + std::to_string(la),
+                       .scenario = std::move(rv)});
+    }
   }
+
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(cli.options()).run(std::move(specs));
+
+  runner::ConsoleSink console;
+  const auto cost_or_status = runner::cost_or_status(report.schema);
+  const auto rows_slice = [&report](std::size_t begin, std::size_t end) {
+    return std::vector<runner::Row>(report.rows.begin() +
+                                        static_cast<std::ptrdiff_t>(begin),
+                                    report.rows.begin() +
+                                        static_cast<std::ptrdiff_t>(end));
+  };
+
+  std::cout << "(a) cost vs n, labels (6, 17):\n";
+  const runner::Pivot by_size =
+      runner::pivot(report.schema, rows_slice(0, part_b_begin), "graph",
+                    "adversary", cost_or_status);
+  runner::emit(console, by_size.schema, by_size.rows);
+
+  std::cout << "\n(b) cost vs |L_min| on ring(6) (smaller label = 2^b + 1):\n";
+  const runner::Pivot by_label =
+      runner::pivot(report.schema, rows_slice(part_b_begin, report.rows.size()),
+                    "name", "adversary", cost_or_status);
+  runner::emit(console, by_label.schema, by_label.rows);
+
+  std::cout << "\n" << report.summary() << "\n";
   std::cout << "\nShape check: costs grow slowly (polynomially) in both n and "
                "|L_min| — no exponential blow-up in either parameter.\n";
-  return 0;
+  return report.totals.errored == 0 ? 0 : 1;
 }

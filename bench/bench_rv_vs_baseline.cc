@@ -10,82 +10,84 @@
 //  (2) measured meeting costs of both algorithms under the same adversary,
 //      where the baseline is additionally GIVEN the graph size n (the new
 //      algorithm needs no such knowledge). Both arms of every label pair
-//      are ScenarioSpecs (RouteAlgo::Baseline vs RouteAlgo::RvAsynchPoly)
-//      executed in one parallel ScenarioRunner batch.
+//      are ExperimentSpecs (RouteAlgo::Baseline vs RouteAlgo::RvAsynchPoly)
+//      executed in one ExperimentPipeline batch; both tables are emitted
+//      through result sinks. Supports --csv/--jsonl/--cache-dir/--threads.
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/cli.h"
 #include "rv/baseline.h"
 #include "rv/label.h"
 #include "rv/pi_bound.h"
-#include "runner/runner.h"
 #include "traj/lengths_approx.h"
 #include "traj/traj.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrv;
-  bench::header("E7 (bench_rv_vs_baseline)",
-                "Headline: exponential -> polynomial cost",
-                "naive (R Rbar)^{(2P(n)+1)^L} vs Algorithm RV-asynch-poly");
+  runner::PipelineCli cli;
+  if (!cli.parse_flags_only("bench_rv_vs_baseline", argc, argv)) return 1;
+
+  runner::banner("E7 (bench_rv_vs_baseline)",
+                 "Headline: exponential -> polynomial cost",
+                 "naive (R Rbar)^{(2P(n)+1)^L} vs Algorithm RV-asynch-poly");
 
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);
   const LengthCalculus& c = kit.lengths();
   const std::uint64_t n = 4;
+  runner::ConsoleSink console;
 
-  std::cout << "(1) worst-case guarantees, n = " << n << " (log10 of traversals):\n";
-  std::cout << std::setw(10) << "label L" << std::setw(8) << "|L|"
-            << std::setw(22) << "baseline (exp in L)" << std::setw(22)
-            << "Pi(n,|L|) (poly)\n";
-  for (std::uint64_t lab : {2ULL, 8ULL, 64ULL, 4096ULL, 1ULL << 24, 1ULL << 48}) {
-    const auto m = static_cast<std::uint64_t>(label_length(lab));
-    std::cout << std::setw(10) << lab << std::setw(8) << m << std::setw(18)
-              << std::fixed << std::setprecision(1)
-              << baseline_route_length_log10(c, n, lab) << "    "
-              << std::setw(18) << pi_bound_log10_approx(kit.uxs().p(), n, m) << "\n";
+  std::cout << "(1) worst-case guarantees, n = " << n
+            << " (log10 of traversals):\n";
+  {
+    const runner::Schema schema = {{"label L", runner::ColumnType::U64},
+                                   {"|L|", runner::ColumnType::U64},
+                                   {"baseline (exp in L)", runner::ColumnType::F64},
+                                   {"Pi(n,|L|) (poly)", runner::ColumnType::F64}};
+    std::vector<runner::Row> rows;
+    for (std::uint64_t lab : {2ULL, 8ULL, 64ULL, 4096ULL, 1ULL << 24, 1ULL << 48}) {
+      const auto m = static_cast<std::uint64_t>(label_length(lab));
+      rows.push_back({lab, m, baseline_route_length_log10(c, n, lab),
+                      pi_bound_log10_approx(kit.uxs().p(), n, m)});
+    }
+    runner::emit(console, schema, rows);
   }
   std::cout << "  -> baseline log-cost doubles when |L| grows by one bit "
                "(doubly exponential in |L|); Pi grows polynomially in |L|.\n";
 
   std::cout << "\n(2) measured cost to meet on ring(4), stalled-partner "
                "schedule:\n";
-  std::cout << std::setw(10) << "labels" << std::setw(16) << "baseline"
-            << std::setw(16) << "RV-asynch-poly\n";
 
   // Partner stalled (practically forever) => the mover must grind through
   // its schedule until it happens to sweep the other agent.
   const std::string stall_forever =
       "stall:1:" + std::to_string(std::uint64_t{1} << 62);
-  const std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs = {
-      {1, 2}, {3, 5}, {6, 11}, {13, 22}};
 
-  std::vector<runner::ScenarioSpec> specs;
-  for (const auto& [la, lb] : pairs) {
+  std::vector<runner::ExperimentSpec> specs;
+  for (const auto& [la, lb] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {1, 2}, {3, 5}, {6, 11}, {13, 22}}) {
     for (const runner::RouteAlgo algo :
          {runner::RouteAlgo::Baseline, runner::RouteAlgo::RvAsynchPoly}) {
-      runner::ScenarioSpec spec;
-      spec.graph = "ring:4";
-      spec.adversary = stall_forever;
-      spec.algo = algo;
-      spec.labels = {la, lb};
-      spec.starts = {0, 2};
-      spec.budget = 100'000'000;
-      specs.push_back(std::move(spec));
+      runner::RendezvousSpec rv;
+      rv.graph = "ring:4";
+      rv.adversary = stall_forever;
+      rv.algo = algo;
+      rv.labels = {la, lb};
+      rv.starts = {0, 2};
+      rv.budget = 100'000'000;
+      specs.push_back({.name = "", .scenario = std::move(rv)});
     }
   }
-  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(cli.options()).run(std::move(specs));
 
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const runner::ScenarioOutcome& base = report.outcomes[2 * i];
-    const runner::ScenarioOutcome& rv = report.outcomes[2 * i + 1];
-    std::cout << std::setw(6) << pairs[i].first << "," << std::setw(3)
-              << pairs[i].second << std::setw(16)
-              << (base.ok ? std::to_string(base.cost) : "no-meet")
-              << std::setw(16) << (rv.ok ? std::to_string(rv.cost) : "no-meet")
-              << "\n";
-  }
+  const runner::Pivot arms =
+      runner::pivot(report.schema, report.rows, "labels", "algo",
+                    runner::cost_or_status(report.schema));
+  runner::emit(console, arms.schema, arms.rows);
+
   std::cout << "\nBoth meet under this schedule; the separation is in the "
                "worst-case guarantee above, where the baseline must be "
                "prepared to walk (2P(n)+1)^L full explorations while Pi "
                "depends only on |L| = log L.\n";
-  return report.errored == 0 ? 0 : 1;
+  return report.totals.errored == 0 ? 0 : 1;
 }

@@ -3,54 +3,57 @@
 // size and the smallest label length.
 //
 // Sweeps team size k and graph size n, verifying all four application
-// outputs and printing total cost. All sweep cells are SGL ScenarioSpecs
-// executed in one parallel ScenarioRunner batch.
+// outputs and printing total cost. All sweep cells are SGL ExperimentSpecs
+// executed in one ExperimentPipeline batch; tables are emitted through
+// result sinks. Supports --csv/--jsonl/--cache-dir/--threads.
 #include <iostream>
 
-#include "bench/bench_common.h"
-#include "runner/runner.h"
+#include "runner/cli.h"
 
 namespace {
 
 using namespace asyncrv;
 
-bool verify(const runner::ScenarioOutcome& out,
+bool verify(const runner::ExperimentOutcome& out,
             const std::vector<std::uint64_t>& labels) {
-  if (!out.ok) return false;
+  const runner::SglOutcome* sgl = out.sgl();
+  if (!out.ok() || !sgl) return false;
   std::uint64_t min_label = ~std::uint64_t{0};
   for (std::uint64_t lab : labels) min_label = std::min(min_label, lab);
   for (std::uint64_t lab : labels) {
-    if (out.sgl_apps.team_size.at(lab) != labels.size()) return false;
-    if (out.sgl_apps.leader.at(lab) != min_label) return false;
-    if (out.sgl_apps.gossip.at(lab).size() != labels.size()) return false;
+    if (sgl->apps.team_size.at(lab) != labels.size()) return false;
+    if (sgl->apps.leader.at(lab) != min_label) return false;
+    if (sgl->apps.gossip.at(lab).size() != labels.size()) return false;
   }
   return true;
 }
 
-runner::ScenarioSpec sgl_spec(const std::string& graph,
-                              std::vector<std::uint64_t> labels,
-                              std::uint64_t seed) {
-  runner::ScenarioSpec spec;
-  spec.kind = runner::ScenarioKind::Sgl;
-  spec.graph = graph;
-  spec.labels = std::move(labels);
-  spec.budget = 600'000'000;
-  spec.seed = seed;
-  return spec;
+runner::ExperimentSpec sgl_spec(const std::string& graph,
+                                std::vector<std::uint64_t> labels,
+                                std::uint64_t seed) {
+  runner::SglSpec sgl;
+  sgl.graph = graph;
+  sgl.labels = std::move(labels);
+  sgl.budget = 600'000'000;
+  sgl.seed = seed;
+  return {.name = "", .scenario = std::move(sgl)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrv;
-  bench::header("E8 (bench_sgl_apps)",
-                "Theorem 4.1: SGL + team size / leader / renaming / gossip",
-                "cost vs team size k and graph size n; outputs verified");
+  runner::PipelineCli cli;
+  if (!cli.parse_flags_only("bench_sgl_apps", argc, argv)) return 1;
+
+  runner::banner("E8 (bench_sgl_apps)",
+                 "Theorem 4.1: SGL + team size / leader / renaming / gossip",
+                 "cost vs team size k and graph size n; outputs verified");
 
   const std::vector<std::uint64_t> label_pool = {9, 4, 17, 6, 23};
 
   // One batch for all three sweeps; section boundaries are index ranges.
-  std::vector<runner::ScenarioSpec> specs;
+  std::vector<runner::ExperimentSpec> specs;
   for (std::size_t k = 2; k <= 5; ++k) {
     specs.push_back(sgl_spec(
         "ring:5", {label_pool.begin(), label_pool.begin() + k}, 0xE8 + k));
@@ -60,44 +63,70 @@ int main() {
   }
   specs.push_back(sgl_spec("star:5", {40, 12, 33, 7}, 0xE81));
 
-  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(cli.options()).run(std::move(specs));
+
+  runner::ConsoleSink console;
+  bool all_verified = true;
+  const auto labels_of = [&report](std::size_t i) {
+    return report.specs[i].sgl()->labels;
+  };
   std::size_t i = 0;
 
   std::cout << "(a) cost vs team size k on ring(5):\n";
-  std::cout << std::setw(4) << "k" << std::setw(14) << "total cost"
-            << std::setw(12) << "verified\n";
-  for (std::size_t k = 2; k <= 5; ++k, ++i) {
-    const runner::ScenarioOutcome& out = report.outcomes[i];
-    const bool good = verify(out, report.specs[i].labels);
-    std::cout << std::setw(4) << k << std::setw(14) << out.cost
-              << std::setw(12) << (good ? "yes" : "NO") << "\n";
-    if (!good) return 1;
+  {
+    const runner::Schema schema = {{"k", runner::ColumnType::U64},
+                                   {"total cost", runner::ColumnType::U64},
+                                   {"verified", runner::ColumnType::Str}};
+    std::vector<runner::Row> rows;
+    for (std::size_t k = 2; k <= 5; ++k, ++i) {
+      const bool good = verify(report.outcomes[i], labels_of(i));
+      all_verified = all_verified && good;
+      rows.push_back({static_cast<std::uint64_t>(k), report.outcomes[i].cost,
+                      std::string(good ? "yes" : "NO")});
+    }
+    runner::emit(console, schema, rows);
   }
 
   std::cout << "\n(b) cost vs graph size n, k = 3 agents:\n";
-  std::cout << std::setw(10) << "graph" << std::setw(6) << "n" << std::setw(14)
-            << "total cost" << std::setw(12) << "verified\n";
-  for (Node n : {Node{3}, Node{4}, Node{5}, Node{6}}) {
-    const runner::ScenarioOutcome& out = report.outcomes[i];
-    const bool good = verify(out, report.specs[i].labels);
-    std::cout << std::setw(10) << "ring" << std::setw(6) << n << std::setw(14)
-              << out.cost << std::setw(12) << (good ? "yes" : "NO") << "\n";
-    if (!good) return 1;
-    ++i;
+  {
+    const runner::Schema schema = {{"graph", runner::ColumnType::Str},
+                                   {"n", runner::ColumnType::U64},
+                                   {"total cost", runner::ColumnType::U64},
+                                   {"verified", runner::ColumnType::Str}};
+    std::vector<runner::Row> rows;
+    for (Node n : {Node{3}, Node{4}, Node{5}, Node{6}}) {
+      const bool good = verify(report.outcomes[i], labels_of(i));
+      all_verified = all_verified && good;
+      rows.push_back({std::string("ring"), static_cast<std::uint64_t>(n),
+                      report.outcomes[i].cost, std::string(good ? "yes" : "NO")});
+      ++i;
+    }
+    runner::emit(console, schema, rows);
   }
 
   std::cout << "\n(c) renaming output across a 4-agent run on star(5):\n";
   {
-    const runner::ScenarioOutcome& out = report.outcomes[i];
-    if (!verify(out, report.specs[i].labels)) return 1;
-    std::cout << std::setw(10) << "label" << std::setw(10) << "new name"
-              << std::setw(12) << "leader" << std::setw(12) << "team size\n";
-    for (std::uint64_t lab : report.specs[i].labels) {
-      std::cout << std::setw(10) << lab << std::setw(10)
-                << out.sgl_apps.new_name.at(lab) << std::setw(12)
-                << out.sgl_apps.leader.at(lab) << std::setw(12)
-                << out.sgl_apps.team_size.at(lab) << "\n";
+    const bool good = verify(report.outcomes[i], labels_of(i));
+    all_verified = all_verified && good;
+    if (good) {
+      const runner::SglOutcome& sgl = *report.outcomes[i].sgl();
+      const runner::Schema schema = {{"label", runner::ColumnType::U64},
+                                     {"new name", runner::ColumnType::U64},
+                                     {"leader", runner::ColumnType::U64},
+                                     {"team size", runner::ColumnType::U64}};
+      std::vector<runner::Row> rows;
+      for (std::uint64_t lab : labels_of(i)) {
+        rows.push_back({lab, sgl.apps.new_name.at(lab), sgl.apps.leader.at(lab),
+                        sgl.apps.team_size.at(lab)});
+      }
+      runner::emit(console, schema, rows);
     }
+  }
+
+  if (!all_verified) {
+    std::cout << "\nVERIFICATION FAILED — see the tables above.\n";
+    return 1;
   }
   std::cout << "\nAll four problems solved with exact outputs — Theorem 4.1 "
                "reproduced at executable scale.\n";

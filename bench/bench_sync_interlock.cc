@@ -7,16 +7,17 @@
 // adversary strategy and prints the maximum observed fence lead against
 // the allowance — a violation would falsify the analysis and fails the
 // binary.
+#include <iomanip>
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "graph/builders.h"
 #include "rv/label.h"
 #include "rv/sync_check.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E6b (bench_sync_interlock)",
+  runner::banner("E6b (bench_sync_interlock)",
                 "Lemmas 3.2-3.6: the fence/piece interlock",
                 "max pre-meeting fence lead vs the n+l allowance");
 

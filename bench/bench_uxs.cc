@@ -8,16 +8,17 @@
 //  (2) coverage headroom: across the medium catalog, the step at which the
 //      last edge is first covered, versus the P(k) budget — the margin by
 //      which the sequence over-delivers at the sizes the experiments use.
+#include <iomanip>
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "runner/sink.h"
 #include "explore/coverage.h"
 #include "explore/uxs_search.h"
 #include "graph/catalog.h"
 
 int main() {
   using namespace asyncrv;
-  bench::header("E0 (bench_uxs)", "Section 2: the R(k, v) substrate",
+  runner::banner("E0 (bench_uxs)", "Section 2: the R(k, v) substrate",
                 "exhaustive tiny-size certification + coverage headroom");
 
   std::cout << "(1) exhaustive certification, n <= 4:\n";

@@ -3,15 +3,15 @@
 // The asynchronous adversary controls speeds, stalls, bursts and even
 // back-and-forth motion inside edges. This example pits the same pair of
 // agents against every strategy in the battery, on a graph that is hard to
-// cover (a lollipop), as one parallel ScenarioRunner batch, and prints
-// per-strategy costs plus the faithful worst-case bound Π(n, m) of
-// Theorem 3.1 for contrast.
+// cover (a lollipop), as one ExperimentPipeline batch, and prints
+// per-strategy costs (through the Console sink) plus the faithful
+// worst-case bound Π(n, m) of Theorem 3.1 for contrast.
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
 
+#include "runner/pipeline.h"
 #include "runner/registry.h"
-#include "runner/runner.h"
 #include "rv/label.h"
 #include "rv/pi_bound.h"
 #include "traj/lengths_approx.h"
@@ -24,35 +24,35 @@ int main() {
   const auto m = static_cast<std::uint64_t>(
       std::min(label_length(label_a), label_length(label_b)));
 
-  std::vector<runner::ScenarioSpec> specs;
+  std::vector<runner::ExperimentSpec> specs;
   for (const std::string& adv : adversary_battery_names()) {
-    runner::ScenarioSpec spec;
-    spec.graph = graph_id;
-    spec.adversary = adv;
-    spec.seed = runner::battery_seed(adv, 99);
-    spec.labels = {label_a, label_b};
-    spec.starts = {0, 6};
-    spec.budget = 50'000'000;
-    specs.push_back(std::move(spec));
+    runner::RendezvousSpec rv;
+    rv.graph = graph_id;
+    rv.adversary = adv;
+    rv.seed = runner::battery_seed(adv, 99);
+    rv.labels = {label_a, label_b};
+    rv.starts = {0, 6};
+    rv.budget = 50'000'000;
+    specs.push_back({.name = "", .scenario = std::move(rv)});
   }
-  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline().run(std::move(specs));
 
   const Graph g = runner::make_graph(graph_id);
   std::cout << "Adversary ablation on a lollipop graph (" << g.summary()
             << "), labels (" << label_a << ", " << label_b << ")\n\n";
-  std::cout << std::setw(14) << "adversary" << std::setw(12) << "cost"
-            << std::setw(10) << "agent a" << std::setw(10) << "agent b"
-            << "\n";
-  std::uint64_t worst = 0;
-  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
-    const runner::ScenarioOutcome& out = report.outcomes[i];
-    std::cout << std::setw(14) << report.specs[i].adversary << std::setw(12)
-              << (out.ok ? std::to_string(out.cost) : "no-meet")
-              << std::setw(10) << out.rv.traversals_a << std::setw(10)
-              << out.rv.traversals_b << "\n";
-    if (out.ok && out.cost > worst) worst = out.cost;
-  }
 
+  // The per-strategy slice of the sweep table, through the Console sink.
+  runner::ConsoleSink console;
+  const auto [schema, rows] = runner::select(
+      report.schema, report.rows,
+      {"adversary", "status", "cost", "traversals_a", "traversals_b"});
+  runner::emit(console, schema, rows);
+
+  std::uint64_t worst = 0;
+  for (const runner::ExperimentOutcome& out : report.outcomes) {
+    if (out.ok() && out.cost > worst) worst = out.cost;
+  }
   const TrajKit kit(PPoly::tiny(), 0x5eed0001);
   const CalibratedPi pi_hat;
   std::cout << "\nworst measured cost        : " << worst << "\n";
@@ -64,5 +64,5 @@ int main() {
   std::cout << "\nThe gap between measured costs and the faithful bound is\n"
                "why the executable harness uses the calibrated bound — see\n"
                "DESIGN.md §2.\n";
-  return report.errored == 0 ? 0 : 1;
+  return report.totals.errored == 0 ? 0 : 1;
 }

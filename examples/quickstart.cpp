@@ -7,36 +7,40 @@
 // Two agents with labels 5 and 12 are dropped on a ring of 6 nodes they
 // know nothing about. Each follows Algorithm RV-asynch-poly; an adversary
 // fully controls their relative speeds. The whole instance is one
-// ScenarioSpec — a plain value describing graph, adversary, labels, starts
-// and budget — and run_scenario executes it (ScenarioRunner runs whole
-// batches of these in parallel; see ring_rendezvous.cpp).
+// ExperimentSpec — a typed value describing graph, adversary, labels,
+// starts and budget — and run_experiment executes it (ExperimentPipeline
+// runs whole batches of these in parallel, with result sinks and a
+// persistent sweep cache; see ring_rendezvous.cpp).
 #include <cstdint>
 #include <iostream>
 
-#include "runner/scenario.h"
+#include "runner/outcome.h"
 
 int main() {
   using namespace asyncrv;
 
-  runner::ScenarioSpec spec;
-  spec.graph = "ring:6";        // the unknown network (agents only see ports)
-  spec.adversary = "random";    // random relative speeds, arbitrary quanta
-  spec.seed = 42;
-  spec.labels = {5, 12};        // each agent knows only its own label
-  spec.starts = {0, 3};
-  spec.budget = 5'000'000;
+  runner::RendezvousSpec rv;
+  rv.graph = "ring:6";        // the unknown network (agents only see ports)
+  rv.adversary = "random";    // random relative speeds, arbitrary quanta
+  rv.seed = 42;
+  rv.labels = {5, 12};        // each agent knows only its own label
+  rv.starts = {0, 3};
+  rv.budget = 5'000'000;
+  const runner::ExperimentSpec spec{.name = "", .scenario = rv};
 
-  const runner::ScenarioOutcome out = runner::run_scenario(spec);
-  if (!out.error.empty()) {
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  if (out.status == runner::RunStatus::Error) {
     std::cerr << "error: " << out.error << "\n";
     return 1;
   }
 
   std::cout << "scenario: " << spec.display() << "\n";
-  if (out.ok) {
-    std::cout << "met at " << out.rv.meeting_point.str() << "\n";
+  std::cout << "fingerprint: " << spec.fingerprint().hex() << "\n";
+  if (out.ok()) {
+    const RendezvousResult& result = out.rendezvous()->result;
+    std::cout << "met at " << result.meeting_point.str() << "\n";
     std::cout << "cost: " << out.cost << " edge traversals (agent a: "
-              << out.rv.traversals_a << ", agent b: " << out.rv.traversals_b
+              << result.traversals_a << ", agent b: " << result.traversals_b
               << ")\n";
   } else {
     std::cout << "no meeting within budget (this should never happen)\n";

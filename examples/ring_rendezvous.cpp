@@ -3,50 +3,57 @@
 // The paper's motivating setting — two software agents injected into a
 // network whose nodes expose no identities, moving at speeds dictated by
 // network congestion (the adversary). This example sweeps ring sizes and
-// adversary strategies as one ScenarioRunner batch (executed across a
-// thread pool) and prints a cost table, illustrating the paper's
-// polynomial-cost guarantee in the scenario its introduction motivates.
+// adversary strategies as one ExperimentPipeline batch (executed across a
+// thread pool) and prints a cost matrix through the Console sink,
+// illustrating the paper's polynomial-cost guarantee in the scenario its
+// introduction motivates.
+//
+// Like every pipeline tool it accepts the shared sweep flags — e.g.
+//   ./build/ring_rendezvous --jsonl sweep.jsonl --cache-dir .sweep-cache
+// writes the machine-readable rows and makes a re-run serve every cell
+// from the persistent cache (byte-identical output, zero simulations).
 #include <cstdint>
-#include <iomanip>
 #include <iostream>
 
+#include "runner/cli.h"
 #include "runner/registry.h"
-#include "runner/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace asyncrv;
+  runner::PipelineCli cli;
+  if (!cli.parse_flags_only("ring_rendezvous", argc, argv)) return 1;
+
   const std::uint64_t label_a = 6, label_b = 17;
 
-  std::vector<runner::ScenarioSpec> specs;
-  const auto names = adversary_battery_names();
+  std::vector<runner::ExperimentSpec> specs;
   for (Node n : {Node{4}, Node{6}, Node{8}, Node{10}}) {
-    for (const std::string& adv : names) {
-      runner::ScenarioSpec spec;
-      spec.graph = "ring:" + std::to_string(n);
-      spec.adversary = adv;
-      spec.seed = runner::battery_seed(adv, 2024);
-      spec.labels = {label_a, label_b};
-      spec.starts = {0, n / 2};
-      spec.budget = 20'000'000;
-      specs.push_back(std::move(spec));
+    for (const std::string& adv : adversary_battery_names()) {
+      runner::RendezvousSpec rv;
+      rv.graph = "ring:" + std::to_string(n);
+      rv.adversary = adv;
+      rv.seed = runner::battery_seed(adv, 2024);
+      rv.labels = {label_a, label_b};
+      rv.starts = {0, n / 2};
+      rv.budget = 20'000'000;
+      specs.push_back({.name = "", .scenario = std::move(rv)});
     }
   }
 
-  const runner::ScenarioReport report = runner::ScenarioRunner().run(specs);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(cli.options()).run(std::move(specs));
 
   std::cout << "Asynchronous rendezvous on anonymous rings, labels ("
             << label_a << ", " << label_b << ")\n";
-  std::cout << std::setw(8) << "ring n" << std::setw(14) << "adversary"
-            << std::setw(12) << "cost" << std::setw(18) << "meeting point\n";
-  std::size_t i = 0;
-  for (Node n : {Node{4}, Node{6}, Node{8}, Node{10}}) {
-    for (const std::string& adv : names) {
-      const runner::ScenarioOutcome& out = report.outcomes[i++];
-      std::cout << std::setw(8) << n << std::setw(14) << adv << std::setw(12)
-                << (out.ok ? std::to_string(out.cost) : "-") << std::setw(18)
-                << (out.ok ? out.rv.meeting_point.str() : "none") << "\n";
-    }
-  }
+  runner::ConsoleSink console;
+  const runner::Pivot matrix =
+      runner::pivot(report.schema, report.rows, "graph", "adversary",
+                    runner::cost_or_status(report.schema, "-"));
+  runner::emit(console, matrix.schema, matrix.rows);
+
   std::cout << "\n" << report.summary() << "\n";
-  return report.errored == 0 ? 0 : 1;
+  if (cli.has_cache()) {
+    std::cout << "cache: " << report.cache_hits << " hits, " << report.executed
+              << " executed\n";
+  }
+  return report.totals.errored == 0 ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   rv_cli [family] [n] [label_a] [label_b] [adversary] [seed]
+//          [--csv <path>] [--jsonl <path>] [--cache-dir <dir>]
 //
 //   family     ring | path | complete | star | grid | torus | tree |
 //              lollipop | petersen | hypercube          (default ring)
@@ -12,16 +13,21 @@
 //              phase | skew                              (default random)
 //   seed       adversary seed                            (default 42)
 //
-// The instance is assembled into a ScenarioSpec (with schedule recording
-// on) and executed by the scenario runner; the tool prints the instance
-// (including its DOT rendering) and the traced schedule statistics.
+//   --csv/--jsonl write the typed result row to machine-readable sinks;
+//   --cache-dir makes re-runs of the same instance load the recorded
+//   outcome (including the schedule) from the persistent sweep cache.
+//
+// The instance is assembled into a typed RendezvousSpec (with schedule
+// recording on) and executed by the experiment pipeline; the tool prints
+// the instance (including its DOT rendering) and the traced schedule
+// statistics.
 #include <cstdint>
 #include <iostream>
 #include <string>
 
 #include "graph/io.h"
+#include "runner/cli.h"
 #include "runner/registry.h"
-#include "runner/scenario.h"
 
 namespace {
 
@@ -44,46 +50,65 @@ std::string family_graph_id(const std::string& family, Node n) {
 int main(int argc, char** argv) {
   using namespace asyncrv;
   try {
-    const std::string family = argc > 1 ? argv[1] : "ring";
+    runner::PipelineCli cli;
+    const std::vector<std::string> args = cli.parse(argc, argv);
+    if (args.size() > 6) {
+      std::cerr << "usage: rv_cli [family] [n] [label_a] [label_b] "
+                   "[adversary] [seed] "
+                << runner::PipelineCli::flags_help() << "\n";
+      return 1;
+    }
+    const std::string family = !args.empty() ? args[0] : "ring";
     // Signed parse + range check: stoul would wrap "-3" into a
     // 4-billion-node graph request.
-    const long n_arg = argc > 2 ? std::stol(argv[2]) : 6;
+    const long n_arg = args.size() > 1 ? std::stol(args[1]) : 6;
     if (n_arg < 2 || n_arg > 100000) {
       std::cerr << "error: graph size must be in [2, 100000], got " << n_arg
                 << "\n";
       return 1;
     }
     const Node n = static_cast<Node>(n_arg);
-    const std::uint64_t la = argc > 3 ? std::stoull(argv[3]) : 5;
-    const std::uint64_t lb = argc > 4 ? std::stoull(argv[4]) : 12;
-    const std::string adv_name = argc > 5 ? argv[5] : "random";
-    const std::uint64_t seed = argc > 6 ? std::stoull(argv[6]) : 42;
+    const std::uint64_t la = args.size() > 2 ? std::stoull(args[2]) : 5;
+    const std::uint64_t lb = args.size() > 3 ? std::stoull(args[3]) : 12;
+    const std::string adv_name = args.size() > 4 ? args[4] : "random";
+    const std::uint64_t seed = args.size() > 5 ? std::stoull(args[5]) : 42;
 
-    runner::ScenarioSpec spec;
-    spec.graph = family_graph_id(family, n);
-    spec.adversary = adv_name;
-    spec.seed = seed;
-    spec.labels = {la, lb};
-    spec.budget = 50'000'000;
-    spec.record_schedule = true;
+    runner::RendezvousSpec rv;
+    rv.graph = family_graph_id(family, n);
+    rv.adversary = adv_name;
+    rv.seed = seed;
+    rv.labels = {la, lb};
+    rv.budget = 50'000'000;
+    rv.record_schedule = true;
 
-    const Graph g = runner::make_graph(spec.graph);
-    spec.starts = {0, g.size() - 1};
+    const Graph g = runner::make_graph(rv.graph);
+    rv.starts = {0, g.size() - 1};
+    const runner::ExperimentSpec spec{.name = "", .scenario = rv};
 
     std::cout << "instance: " << family << " (" << g.summary() << ")\n";
     std::cout << "labels: " << la << " vs " << lb << ", adversary: " << adv_name
-              << " (seed " << seed << ")\n\n";
+              << " (seed " << seed << ")\n";
+    std::cout << "fingerprint: " << spec.fingerprint().hex() << "\n\n";
     std::cout << to_dot(g, family) << "\n";
 
-    const runner::ScenarioOutcome out = runner::run_scenario(spec);
-    if (!out.error.empty()) {
+    // A single-cell pipeline batch: the row goes to any configured CSV /
+    // JSONL sinks, and --cache-dir turns re-runs into cache hits.
+    const runner::PipelineReport report =
+        runner::ExperimentPipeline(cli.options()).run({spec});
+    const runner::ExperimentOutcome& out = report.outcomes.front();
+    if (out.status == runner::RunStatus::Error) {
       std::cerr << "error: " << out.error << "\n";
       return 1;
     }
+    if (cli.has_cache() && report.cache_hits > 0) {
+      std::cout << "(outcome served from cache: "
+                << cli.cache()->entry_path(spec) << ")\n";
+    }
 
     // Schedule-shape statistics from the recorded adversary decisions.
-    std::cout << make_trace_stats(out.rv, out.schedule).summary() << "\n";
-    if (!out.ok) return 2;
+    const runner::RendezvousOutcome& res = *out.rendezvous();
+    std::cout << make_trace_stats(res.result, res.schedule).summary() << "\n";
+    if (!out.ok()) return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -3,23 +3,22 @@
 //
 // Four agents with arbitrary labels and private payloads are dropped on an
 // anonymous network; two are dormant until woken. The whole instance —
-// including the per-agent dormancy and wake schedule — is one SGL
-// ScenarioSpec executed by run_scenario; every agent ends up outputting
-// the complete roster, from which all four classic problems are answered
+// including the per-agent dormancy and wake schedule — is one typed
+// SglSpec executed by run_experiment; every agent ends up outputting the
+// complete roster, from which all four classic problems are answered
 // locally.
 #include <cstdint>
 #include <iostream>
 
-#include "runner/scenario.h"
+#include "runner/outcome.h"
 
 int main() {
   using namespace asyncrv;
 
-  runner::ScenarioSpec spec;
-  spec.kind = runner::ScenarioKind::Sgl;
-  spec.graph = "ringchord:5";
-  spec.budget = 400'000'000;
-  spec.seed = 7;
+  runner::SglSpec sgl;
+  sgl.graph = "ringchord:5";
+  sgl.budget = 400'000'000;
+  sgl.seed = 7;
 
   const std::uint64_t labels[] = {19, 4, 32, 11};
   const char* payloads[] = {"temperature=21C", "humidity=40%", "door=closed",
@@ -32,34 +31,35 @@ int main() {
     agent.initially_awake = i < 2;  // agents 2 and 3 start dormant
     agent.wake_after_units =
         i == 2 ? 100 * static_cast<std::uint64_t>(kEdgeUnits) : 0;
-    spec.sgl_team.push_back(agent);
+    sgl.team.push_back(agent);
   }
+  const runner::ExperimentSpec spec{.name = "", .scenario = sgl};
 
-  std::cout << "Team of " << spec.sgl_team.size() << " agents on "
-            << spec.graph
+  std::cout << "Team of " << sgl.team.size() << " agents on " << sgl.graph
             << " (2 dormant; one woken by the adversary, one by a visit)\n\n";
 
-  const runner::ScenarioOutcome out = runner::run_scenario(spec);
-  if (!out.error.empty()) {
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  if (out.status == runner::RunStatus::Error) {
     std::cerr << "error: " << out.error << "\n";
     return 1;
   }
-  if (!out.ok) {
-    std::cout << "run did not complete (budget=" << out.sgl.budget_exhausted
-              << ", stuck=" << out.sgl.stuck << ")\n";
+  const runner::SglOutcome& result = *out.sgl();
+  if (!out.ok()) {
+    std::cout << "run did not complete (budget=" << result.run.budget_exhausted
+              << ", stuck=" << result.run.stuck << ")\n";
     return 1;
   }
 
   std::cout << "total cost: " << out.cost << " edge traversals\n\n";
-  for (std::size_t i = 0; i < spec.sgl_team.size(); ++i) {
-    const std::uint64_t lab = spec.sgl_team[i].label;
+  for (std::size_t i = 0; i < sgl.team.size(); ++i) {
+    const std::uint64_t lab = sgl.team[i].label;
     std::cout << "agent " << lab << " ("
-              << to_string(out.sgl.final_states[i]) << "):\n";
-    std::cout << "  team size : " << out.sgl_apps.team_size.at(lab) << "\n";
-    std::cout << "  leader    : " << out.sgl_apps.leader.at(lab) << "\n";
-    std::cout << "  new name  : " << out.sgl_apps.new_name.at(lab) << "\n";
+              << to_string(result.run.final_states[i]) << "):\n";
+    std::cout << "  team size : " << result.apps.team_size.at(lab) << "\n";
+    std::cout << "  leader    : " << result.apps.leader.at(lab) << "\n";
+    std::cout << "  new name  : " << result.apps.new_name.at(lab) << "\n";
     std::cout << "  gossip    : ";
-    for (const auto& [l, v] : out.sgl_apps.gossip.at(lab)) {
+    for (const auto& [l, v] : result.apps.gossip.at(lab)) {
       std::cout << l << "->\"" << v << "\" ";
     }
     std::cout << "\n";

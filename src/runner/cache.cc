@@ -1,0 +1,393 @@
+#include "runner/cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "runner/encoding.h"
+#include "sim/position.h"
+
+namespace asyncrv::runner {
+
+namespace {
+
+std::string version_header(std::uint32_t format_version) {
+  return "asyncrv.cache.v" + std::to_string(format_version);
+}
+
+void encode_pos(std::ostream& os, const Pos& p) {
+  if (p.kind == Pos::Kind::Node) {
+    os << "meeting=node:" << p.node << '\n';
+  } else {
+    os << "meeting=edge:" << p.eid << ':' << p.off << '\n';
+  }
+}
+
+template <typename T>
+void encode_list(std::ostream& os, const char* key, const std::vector<T>& v) {
+  os << key << '=';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << static_cast<std::uint64_t>(v[i]);
+  }
+  os << '\n';
+}
+
+// --- line-oriented reader with strict key matching --------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : in_(bytes) {}
+
+  /// Next line verbatim; fails permanently at EOF.
+  std::optional<std::string> line() {
+    std::string l;
+    if (!std::getline(in_, l)) return std::nullopt;
+    return l;
+  }
+
+  /// A "key=value" line with exactly this key; nullopt otherwise.
+  std::optional<std::string> field(const std::string& key) {
+    const auto l = line();
+    if (!l) return std::nullopt;
+    if (l->rfind(key + "=", 0) != 0) return std::nullopt;
+    return l->substr(key.size() + 1);
+  }
+
+  std::optional<std::uint64_t> u64(const std::string& key) {
+    const auto v = field(key);
+    if (!v) return std::nullopt;
+    return parse_u64(*v);
+  }
+
+  std::optional<bool> flag(const std::string& key) {
+    const auto v = field(key);
+    if (!v || (*v != "0" && *v != "1")) return std::nullopt;
+    return *v == "1";
+  }
+
+  static std::optional<std::uint64_t> parse_u64(const std::string& s) {
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+      return std::nullopt;
+    }
+    try {
+      return std::stoull(s);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+
+  static std::optional<std::int64_t> parse_i64(const std::string& s) {
+    const bool neg = !s.empty() && s[0] == '-';
+    const auto mag = parse_u64(neg ? s.substr(1) : s);
+    if (!mag || *mag > static_cast<std::uint64_t>(
+                           std::numeric_limits<std::int64_t>::max())) {
+      return std::nullopt;
+    }
+    const auto v = static_cast<std::int64_t>(*mag);
+    return neg ? -v : v;
+  }
+
+  static std::optional<std::vector<std::uint64_t>> u64_list(
+      const std::string& s) {
+    std::vector<std::uint64_t> out;
+    if (s.empty()) return out;
+    for (const std::string& part : split(s, ',')) {
+      const auto v = parse_u64(part);
+      if (!v) return std::nullopt;
+      out.push_back(*v);
+    }
+    return out;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+std::optional<Pos> decode_pos(const std::string& v) {
+  const auto parts = split(v, ':');
+  if (parts.size() >= 2 && parts[0] == "node") {
+    const auto node = Reader::parse_u64(parts[1]);
+    if (parts.size() != 2 || !node || *node > 0xffffffffULL) return std::nullopt;
+    return Pos::at_node(static_cast<Node>(*node));
+  }
+  if (parts.size() == 3 && parts[0] == "edge") {
+    const auto eid = Reader::parse_u64(parts[1]);
+    const auto off = Reader::parse_i64(parts[2]);
+    if (!eid || *eid > 0xffffffffULL || !off || *off <= 0 ||
+        *off >= kEdgeUnits) {
+      return std::nullopt;
+    }
+    return Pos::on_edge(static_cast<std::uint32_t>(*eid), *off);
+  }
+  return std::nullopt;
+}
+
+std::optional<RendezvousOutcome> decode_rendezvous(Reader& in) {
+  RendezvousOutcome res;
+  const auto met = in.flag("met");
+  if (!met) return std::nullopt;
+  res.result.met = *met;
+  const auto meeting = in.field("meeting");
+  if (!meeting) return std::nullopt;
+  const auto pos = decode_pos(*meeting);
+  if (!pos) return std::nullopt;
+  res.result.meeting_point = *pos;
+  const auto ta = in.u64("ta"), tb = in.u64("tb");
+  if (!ta || !tb) return std::nullopt;
+  res.result.traversals_a = *ta;
+  res.result.traversals_b = *tb;
+  const auto rv_budget = in.flag("rv_budget");
+  if (!rv_budget) return std::nullopt;
+  res.result.budget_exhausted = *rv_budget;
+  const auto sched = in.field("schedule");
+  if (!sched) return std::nullopt;
+  if (!sched->empty()) {
+    for (const std::string& step : split(*sched, ',')) {
+      const auto parts = split(step, ':');
+      if (parts.size() != 2) return std::nullopt;
+      const auto agent = Reader::parse_i64(parts[0]);
+      const auto delta = Reader::parse_i64(parts[1]);
+      if (!agent || *agent < 0 || *agent > 0x7fffffff || !delta) {
+        return std::nullopt;
+      }
+      res.schedule.steps.push_back({static_cast<int>(*agent), *delta});
+    }
+  }
+  return res;
+}
+
+std::optional<SglOutcome> decode_sgl(const ExperimentSpec& spec, Reader& in) {
+  SglOutcome res;
+  const auto completed = in.flag("completed");
+  const auto budget = in.flag("sgl_budget");
+  const auto stuck = in.flag("stuck");
+  const auto total = in.u64("total");
+  if (!completed || !budget || !stuck || !total) return std::nullopt;
+  res.run.completed = *completed;
+  res.run.budget_exhausted = *budget;
+  res.run.stuck = *stuck;
+  res.run.total_traversals = *total;
+  const auto per_agent = in.field("per_agent");
+  if (!per_agent) return std::nullopt;
+  const auto traversals = Reader::u64_list(*per_agent);
+  if (!traversals) return std::nullopt;
+  res.run.traversals_per_agent = *traversals;
+  const auto states = in.field("states");
+  if (!states) return std::nullopt;
+  const auto state_ints = Reader::u64_list(*states);
+  if (!state_ints) return std::nullopt;
+  for (const std::uint64_t s : *state_ints) {
+    if (s > static_cast<std::uint64_t>(SglState::Ghost)) return std::nullopt;
+    res.run.final_states.push_back(static_cast<SglState>(s));
+  }
+  const auto n_outputs = in.u64("outputs");
+  if (!n_outputs || *n_outputs > 1'000'000) return std::nullopt;
+  for (std::uint64_t i = 0; i < *n_outputs; ++i) {
+    const auto bag_line = in.field("output." + std::to_string(i));
+    if (!bag_line) return std::nullopt;
+    Bag bag;
+    if (!bag_line->empty()) {
+      for (const std::string& entry : split(*bag_line, ',')) {
+        const auto parts = split(entry, ':');
+        if (parts.size() != 2) return std::nullopt;
+        const auto label = Reader::parse_u64(parts[0]);
+        const auto value = percent_unescape(parts[1]);
+        if (!label || !value) return std::nullopt;
+        bag[*label] = *value;
+      }
+    }
+    res.run.outputs.push_back(std::move(bag));
+  }
+  if (res.run.completed) {
+    // Applications are derived, not stored: recompute them against the same
+    // effective team the executor used.
+    res.apps = derive_applications(res.run, effective_sgl_team(*spec.sgl()));
+  }
+  return res;
+}
+
+}  // namespace
+
+std::string encode_outcome(const ExperimentSpec& spec,
+                           const ExperimentOutcome& outcome,
+                           std::uint32_t format_version) {
+  const std::string canonical = spec.canonical();
+  std::ostringstream os;
+  os << version_header(format_version) << '\n';
+  os << "spec-bytes=" << canonical.size() << '\n';
+  os << canonical;  // ends with '\n' by construction
+  os << "status="
+     << (outcome.status == RunStatus::Ok
+             ? "ok"
+             : outcome.status == RunStatus::Unresolved ? "unresolved" : "error")
+     << '\n';
+  os << "budget_exhausted=" << (outcome.budget_exhausted ? 1 : 0) << '\n';
+  os << "cost=" << outcome.cost << '\n';
+  os << "error=" << percent_escape(outcome.error) << '\n';
+  if (const RendezvousOutcome* rv = outcome.rendezvous()) {
+    os << "kind=rendezvous\n";
+    os << "met=" << (rv->result.met ? 1 : 0) << '\n';
+    encode_pos(os, rv->result.meeting_point);
+    os << "ta=" << rv->result.traversals_a << '\n';
+    os << "tb=" << rv->result.traversals_b << '\n';
+    os << "rv_budget=" << (rv->result.budget_exhausted ? 1 : 0) << '\n';
+    os << "schedule=";
+    for (std::size_t i = 0; i < rv->schedule.steps.size(); ++i) {
+      if (i) os << ',';
+      os << rv->schedule.steps[i].agent << ':' << rv->schedule.steps[i].delta;
+    }
+    os << '\n';
+  } else if (const SglOutcome* sgl = outcome.sgl()) {
+    os << "kind=sgl\n";
+    os << "completed=" << (sgl->run.completed ? 1 : 0) << '\n';
+    os << "sgl_budget=" << (sgl->run.budget_exhausted ? 1 : 0) << '\n';
+    os << "stuck=" << (sgl->run.stuck ? 1 : 0) << '\n';
+    os << "total=" << sgl->run.total_traversals << '\n';
+    encode_list(os, "per_agent", sgl->run.traversals_per_agent);
+    os << "states=";
+    for (std::size_t i = 0; i < sgl->run.final_states.size(); ++i) {
+      if (i) os << ',';
+      os << static_cast<int>(sgl->run.final_states[i]);
+    }
+    os << '\n';
+    os << "outputs=" << sgl->run.outputs.size() << '\n';
+    for (std::size_t i = 0; i < sgl->run.outputs.size(); ++i) {
+      os << "output." << i << '=';
+      std::size_t j = 0;
+      for (const auto& [label, value] : sgl->run.outputs[i]) {
+        if (j++) os << ',';
+        os << label << ':' << percent_escape(value);
+      }
+      os << '\n';
+    }
+  } else {
+    os << "kind=none\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+std::optional<ExperimentOutcome> decode_outcome(const ExperimentSpec& spec,
+                                                const std::string& bytes,
+                                                std::uint32_t format_version) {
+  try {
+    Reader in(bytes);
+    const auto header = in.line();
+    if (!header || *header != version_header(format_version)) {
+      return std::nullopt;
+    }
+    const auto spec_bytes = in.u64("spec-bytes");
+    const std::string canonical = spec.canonical();
+    if (!spec_bytes || *spec_bytes != canonical.size()) return std::nullopt;
+    // The stored canonical spec must match the probe byte-for-byte — a
+    // colliding fingerprint or a foreign file is a miss, never a wrong hit.
+    {
+      std::istringstream expect(canonical);
+      std::string expect_line;
+      while (std::getline(expect, expect_line)) {
+        const auto got = in.line();
+        if (!got || *got != expect_line) return std::nullopt;
+      }
+    }
+    ExperimentOutcome out;
+    const auto status = in.field("status");
+    if (!status) return std::nullopt;
+    if (*status == "ok") out.status = RunStatus::Ok;
+    else if (*status == "unresolved") out.status = RunStatus::Unresolved;
+    else if (*status == "error") out.status = RunStatus::Error;
+    else return std::nullopt;
+    const auto budget = in.flag("budget_exhausted");
+    if (!budget) return std::nullopt;
+    out.budget_exhausted = *budget;
+    const auto cost = in.u64("cost");
+    if (!cost) return std::nullopt;
+    out.cost = *cost;
+    const auto error = in.field("error");
+    if (!error) return std::nullopt;
+    const auto unescaped = percent_unescape(*error);
+    if (!unescaped) return std::nullopt;
+    out.error = *unescaped;
+    const auto kind = in.field("kind");
+    if (!kind) return std::nullopt;
+    if (*kind == "rendezvous") {
+      auto res = decode_rendezvous(in);
+      if (!res) return std::nullopt;
+      out.result = std::move(*res);
+    } else if (*kind == "sgl") {
+      auto res = decode_sgl(spec, in);
+      if (!res) return std::nullopt;
+      out.result = std::move(*res);
+    } else if (*kind != "none") {
+      return std::nullopt;
+    }
+    // Strict trailer: the exact line "end", a final newline, and nothing
+    // after it — any shorter prefix of a valid entry is a miss.
+    const auto trailer = in.line();
+    if (!trailer || *trailer != "end") return std::nullopt;  // truncated
+    if (bytes.empty() || bytes.back() != '\n') return std::nullopt;
+    if (in.line()) return std::nullopt;  // trailing garbage
+    return out;
+  } catch (const std::exception&) {
+    return std::nullopt;  // any malformation is a miss, never an error
+  }
+}
+
+SweepCache::SweepCache(std::string dir, std::uint32_t format_version)
+    : dir_(std::move(dir)), format_version_(format_version) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string SweepCache::entry_path(const ExperimentSpec& spec) const {
+  return (std::filesystem::path(dir_) / (spec.fingerprint().hex() + ".outcome"))
+      .string();
+}
+
+std::optional<ExperimentOutcome> SweepCache::lookup(
+    const ExperimentSpec& spec) const {
+  try {
+    std::ifstream in(entry_path(spec), std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    if (!in.good() && !in.eof()) return std::nullopt;
+    return decode_outcome(spec, bytes.str(), format_version_);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void SweepCache::store(const ExperimentSpec& spec,
+                       const ExperimentOutcome& outcome) const {
+  try {
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string final_path = entry_path(spec);
+    // pid + per-process counter: unique even when concurrent sweeps share
+    // the directory, so the rename below is the only visible mutation.
+    const std::string tmp_path = final_path + ".tmp." +
+                                 std::to_string(::getpid()) + "." +
+                                 std::to_string(counter.fetch_add(1));
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) return;
+      out << encode_outcome(spec, outcome, format_version_);
+      if (!out.good()) {
+        out.close();
+        std::error_code ec;
+        std::filesystem::remove(tmp_path, ec);
+        return;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) std::filesystem::remove(tmp_path, ec);
+  } catch (const std::exception&) {
+    // Best-effort: a cache that cannot write is just a cache that misses.
+  }
+}
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,77 @@
+// The persistent sweep cache — content-addressed experiment outcomes.
+//
+// A sweep re-run after an interrupt, or with an enlarged grid, should only
+// pay for the cells it has not already computed. Because every
+// ExperimentSpec has a stable 128-bit fingerprint of its canonical form
+// (runner/spec.h), an outcome can be stored on disk under that fingerprint
+// and substituted for a live run later: run_experiment is a pure function
+// of the spec, so the substitution is exact — the pipeline's reports are
+// byte-identical whether a cell was executed or loaded.
+//
+// Robustness contract: the cache is best-effort and NEVER an error source.
+//  * a missing, truncated, corrupted or version-mismatched entry is a miss
+//    (the cell simply runs again and the entry is rewritten);
+//  * the stored canonical spec is compared against the probe on every hit,
+//    so a fingerprint collision (or a foreign file) degrades to a miss;
+//  * store() failures (read-only dir, disk full) are swallowed;
+//  * writes go through a temp file + atomic rename, so concurrent sweeps
+//    sharing a directory never observe half-written entries.
+//
+// Entries are versioned (`asyncrv.cache.v<N>`): bumping kFormatVersion —
+// required whenever the outcome serialization or simulator semantics
+// change — invalidates every existing entry wholesale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runner/outcome.h"
+#include "runner/spec.h"
+
+namespace asyncrv::runner {
+
+/// Exact text serialization of an outcome (everything reports may render:
+/// status, costs, rendezvous result + schedule, SGL run result). SGL
+/// applications are not stored — they are re-derived from the cached run
+/// result, which is why decode_outcome takes the spec.
+std::string encode_outcome(const ExperimentSpec& spec,
+                           const ExperimentOutcome& outcome,
+                           std::uint32_t format_version);
+
+/// Parses an encoded entry; nullopt on ANY malformation (truncation, bad
+/// header, wrong version, spec mismatch). Exact inverse of encode_outcome
+/// for well-formed input — pinned by tests/cache_test.cc.
+std::optional<ExperimentOutcome> decode_outcome(const ExperimentSpec& spec,
+                                                const std::string& bytes,
+                                                std::uint32_t format_version);
+
+class SweepCache {
+ public:
+  /// The on-disk format version baked into this build. Test-only overrides
+  /// below simulate cross-release invalidation.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Creates `dir` (and parents) if needed. Throws only when the directory
+  /// cannot be created at all — everything later is best-effort.
+  explicit SweepCache(std::string dir,
+                      std::uint32_t format_version = kFormatVersion);
+
+  /// The cached outcome of this spec, or nullopt on any kind of miss.
+  std::optional<ExperimentOutcome> lookup(const ExperimentSpec& spec) const;
+
+  /// Persists the outcome under the spec's fingerprint (best-effort).
+  void store(const ExperimentSpec& spec,
+             const ExperimentOutcome& outcome) const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path of the entry that lookup/store use for this spec.
+  std::string entry_path(const ExperimentSpec& spec) const;
+
+ private:
+  std::string dir_;
+  std::uint32_t format_version_;
+};
+
+}  // namespace asyncrv::runner

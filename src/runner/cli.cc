@@ -1,0 +1,70 @@
+#include "runner/cli.h"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace asyncrv::runner {
+
+const char* PipelineCli::flags_help() {
+  return "[--csv <path>] [--jsonl <path>] [--cache-dir <dir>] [--threads <n>]";
+}
+
+std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::logic_error("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv_ = std::make_unique<CsvSink>(value());
+    } else if (arg == "--jsonl") {
+      jsonl_ = std::make_unique<JsonlSink>(value());
+    } else if (arg == "--cache-dir") {
+      cache_ = std::make_unique<SweepCache>(value());
+    } else if (arg == "--threads") {
+      const std::string v = value();
+      std::size_t pos = 0;
+      int n = 0;
+      try {
+        n = std::stoi(v, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != v.size() || n < 0) {
+        throw std::logic_error("bad --threads value: " + v);
+      }
+      threads_ = n;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  return rest;
+}
+
+bool PipelineCli::parse_flags_only(const std::string& tool, int argc,
+                                   char** argv) {
+  try {
+    const std::vector<std::string> rest = parse(argc, argv);
+    if (rest.empty()) return true;
+    std::cerr << "error: unexpected argument '" << rest.front() << "'\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+  }
+  std::cerr << "usage: " << tool << " " << flags_help() << "\n";
+  return false;
+}
+
+PipelineOptions PipelineCli::options() const {
+  PipelineOptions opts;
+  opts.threads = threads_;
+  if (csv_) opts.sinks.push_back(csv_.get());
+  if (jsonl_) opts.sinks.push_back(jsonl_.get());
+  opts.cache = cache_.get();
+  return opts;
+}
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,61 @@
+#include "runner/encoding.h"
+
+namespace asyncrv::runner {
+
+std::string percent_escape(const std::string& s) {
+  static const char hex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 || c == '%' || c == ',' || c == ':' || c == 0x7f) {
+      out.push_back('%');
+      out.push_back(hex[u >> 4]);
+      out.push_back(hex[u & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string> percent_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return std::nullopt;
+    const int hi = hex_digit(s[i + 1]), lo = hex_digit(s[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = s.find(sep, begin);
+    parts.push_back(s.substr(begin, end - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,26 @@
+// Shared low-level text encoding for the runner's serialized forms — the
+// canonical spec layout (runner/spec.cc), the cache entry format
+// (runner/cache.cc) and the registry id grammar (runner/registry.cc) must
+// all agree on escaping and tokenization, so there is exactly one
+// implementation of each.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asyncrv::runner {
+
+/// Percent-escapes control characters and the separator alphabet of the
+/// line/comma/colon oriented formats ('%', ',', ':', DEL). Deterministic;
+/// the escaped form contains no newlines and no bare separators.
+std::string percent_escape(const std::string& s);
+
+/// Exact inverse of percent_escape; nullopt on a malformed '%' sequence.
+std::optional<std::string> percent_unescape(const std::string& s);
+
+/// Splits on every occurrence of `sep` (no trimming; "a::b" -> {"a","","b"},
+/// "" -> {""}).
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,135 @@
+#include "runner/outcome.h"
+
+#include <stdexcept>
+
+#include "runner/registry.h"
+#include "rv/baseline.h"
+#include "rv/rv_route.h"
+#include "traj/traj.h"
+
+namespace asyncrv::runner {
+
+namespace {
+
+RouteFn make_route(const Graph& g, const TrajKit& kit, const RendezvousSpec& spec,
+                   Node start, std::uint64_t label) {
+  if (spec.algo == RouteAlgo::Baseline) {
+    const std::uint64_t n = g.size();
+    return make_walker_route(g, start, [&kit, n, label](Walker& w) {
+      return baseline_route(w, kit, n, label);
+    });
+  }
+  return make_walker_route(g, start, [&kit, label](Walker& w) {
+    return rv_route(w, kit, label, nullptr);
+  });
+}
+
+void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out) {
+  if (spec.labels.size() != 2) {
+    throw std::logic_error("rendezvous scenario needs exactly 2 labels");
+  }
+  const Graph g = make_graph(spec.graph);
+  // Each scenario owns its kit: LengthCalculus memoizes internally, so
+  // sharing one across worker threads would race.
+  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
+
+  std::vector<Node> starts = spec.starts;
+  if (starts.empty()) starts = {0, g.size() - 1};
+  if (starts.size() != 2) {
+    throw std::logic_error("rendezvous scenario needs exactly 2 starts");
+  }
+
+  sim::SimEngine engine(g, sim::MeetingPolicy::Halt);
+  for (int i = 0; i < 2; ++i) {
+    engine.add_agent({make_route(g, kit, spec, starts[static_cast<std::size_t>(i)],
+                                 spec.labels[static_cast<std::size_t>(i)]),
+                      starts[static_cast<std::size_t>(i)], /*awake=*/true,
+                      sim::EndPolicy::Sticky});
+  }
+
+  RendezvousOutcome res;
+  std::unique_ptr<Adversary> adv = make_adversary(spec.adversary, spec.seed);
+  if (spec.record_schedule) {
+    adv = std::make_unique<RecordingAdversary>(std::move(adv), &res.schedule);
+  }
+  res.result = sim::run_rendezvous(engine, *adv, spec.budget);
+  out.status = res.result.met ? RunStatus::Ok : RunStatus::Unresolved;
+  out.budget_exhausted = res.result.budget_exhausted;
+  out.cost = res.result.cost();
+  out.result = std::move(res);
+}
+
+void run_sgl(const SglSpec& spec, ExperimentOutcome& out) {
+  const Graph g = make_graph(spec.graph);
+  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
+  const std::vector<SglAgentSpec> team = effective_sgl_team(spec);
+
+  SglConfig cfg;
+  cfg.robust_phase3 = spec.robust_phase3;
+  const SglSolveOutcome solved =
+      solve_all_problems(g, kit, cfg, team, spec.budget, spec.seed);
+  SglOutcome res;
+  res.run = solved.run;
+  res.apps = solved.apps;
+  out.status = res.run.completed ? RunStatus::Ok : RunStatus::Unresolved;
+  out.budget_exhausted = res.run.budget_exhausted;
+  out.cost = res.run.total_traversals;
+  out.result = std::move(res);
+}
+
+}  // namespace
+
+std::string ExperimentOutcome::status_label() const {
+  if (status == RunStatus::Error) return "error";
+  if (status == RunStatus::Ok) return "ok";
+  if (const SglOutcome* s = sgl(); s && s->run.stuck) return "stuck";
+  if (budget_exhausted) return "budget";
+  return "no-meet";
+}
+
+std::vector<SglAgentSpec> effective_sgl_team(const SglSpec& spec) {
+  std::vector<SglAgentSpec> team = spec.team;
+  if (team.empty()) {
+    if (spec.labels.size() < 2) {
+      throw std::logic_error("SGL scenario needs a team of >= 2 labels");
+    }
+    for (std::size_t i = 0; i < spec.labels.size(); ++i) {
+      SglAgentSpec s;
+      s.start = i < spec.starts.size() ? spec.starts[i] : static_cast<Node>(i);
+      s.label = spec.labels[i];
+      s.value = "val" + std::to_string(s.label);
+      team.push_back(s);
+    }
+  }
+  if (team.size() < 2) {
+    throw std::logic_error("SGL scenario needs a team of >= 2 agents");
+  }
+  return team;
+}
+
+ExperimentOutcome run_experiment(const ExperimentSpec& spec) {
+  ExperimentOutcome out;
+  try {
+    if (const RendezvousSpec* rv = spec.rendezvous()) {
+      run_rendezvous(*rv, out);
+    } else {
+      run_sgl(*spec.sgl(), out);
+    }
+  } catch (const std::logic_error& e) {
+    // Spec/invariant violations (registry parse errors, ASYNCRV_CHECK):
+    // deterministic — the same spec always fails the same way.
+    out = ExperimentOutcome{};  // drop any partial result payload
+    out.status = RunStatus::Error;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    // Anything else (bad_alloc, ...) is environmental: a re-run might
+    // succeed, so mark the outcome uncacheable.
+    out = ExperimentOutcome{};
+    out.status = RunStatus::Error;
+    out.error = e.what();
+    out.transient_error = true;
+  }
+  return out;
+}
+
+}  // namespace asyncrv::runner

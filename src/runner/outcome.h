@@ -1,0 +1,76 @@
+// Experiment outcomes and single-scenario execution.
+//
+// ExperimentOutcome is a slim status/cost record plus a kind-tagged result
+// variant: a rendezvous run carries its RendezvousResult (and, when the
+// spec asked for it, the recorded adversary schedule); an SGL run carries
+// the SglRunResult and the four derived applications. Neither kind pays for
+// the other's payload, and the whole record round-trips exactly through the
+// sweep cache's serialization (runner/cache.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+
+#include "runner/spec.h"
+#include "sgl/apps.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace asyncrv::runner {
+
+enum class RunStatus {
+  Ok,          ///< met (rendezvous) / completed (SGL)
+  Unresolved,  ///< ran to the end of budget/routes without succeeding
+  Error        ///< threw (bad spec, internal failure, callback failure)
+};
+
+/// Result payload of a rendezvous scenario.
+struct RendezvousOutcome {
+  RendezvousResult result;
+  Schedule schedule;  ///< filled when spec.record_schedule
+};
+
+/// Result payload of an SGL scenario.
+struct SglOutcome {
+  SglRunResult run;
+  SglApplications apps;  ///< derived when the run completed
+};
+
+struct ExperimentOutcome {
+  std::size_t index = 0;  ///< position within the submitted batch
+  RunStatus status = RunStatus::Unresolved;
+  bool budget_exhausted = false;
+  std::uint64_t cost = 0;  ///< combined charged edge traversals
+  std::string error;       ///< non-empty iff status == Error
+  /// Error did not come from the spec (allocation failure, callback
+  /// throw, ...): a re-run might succeed, so the sweep cache must never
+  /// persist it. Deterministic spec errors (unknown graph id, wrong label
+  /// count) keep this false and are cached like any outcome.
+  bool transient_error = false;
+
+  std::variant<std::monostate, RendezvousOutcome, SglOutcome> result;
+
+  bool ok() const { return status == RunStatus::Ok; }
+  const RendezvousOutcome* rendezvous() const {
+    return std::get_if<RendezvousOutcome>(&result);
+  }
+  const SglOutcome* sgl() const { return std::get_if<SglOutcome>(&result); }
+
+  /// "ok" | "budget" | "no-meet" | "stuck" | "error" — the status column of
+  /// every report row.
+  std::string status_label() const;
+};
+
+/// Executes one experiment synchronously. Pure: depends only on the spec.
+/// Never throws — failures are reported through `outcome.error`.
+ExperimentOutcome run_experiment(const ExperimentSpec& spec);
+
+/// The team an SglSpec actually runs: `team` verbatim when non-empty, else
+/// one awake agent per label (start = starts[i] or node i, value
+/// "val<label>"). Throws std::logic_error when fewer than 2 agents result.
+/// Shared by the executor and by cache decoding (the derived applications
+/// are recomputed from the cached run result against this same team).
+std::vector<SglAgentSpec> effective_sgl_team(const SglSpec& spec);
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,260 @@
+#include "runner/pipeline.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/check.h"
+
+namespace asyncrv::runner {
+
+namespace {
+
+std::string labels_text(const ExperimentSpec& spec) {
+  std::string out;
+  for (const std::uint64_t label : spec.labels()) {
+    if (!out.empty()) out += '/';
+    out += std::to_string(label);
+  }
+  return out;
+}
+
+std::size_t column_index(const Schema& schema, const std::string& name) {
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    if (schema[c].name == name) return c;
+  }
+  ASYNCRV_CHECK_MSG(false, "unknown sweep column: " + name);
+  return 0;
+}
+
+/// Folds one scenario into a rollup — the single definition of the
+/// aggregate rules (errored scenarios contribute no cost; max_met_cost is
+/// over succeeded scenarios only), shared by the report totals and by
+/// group_by so the two can never disagree.
+void accumulate(GroupStats& g, const std::string& status, std::uint64_t cost) {
+  ++g.scenarios;
+  if (status == "error") {
+    ++g.errored;
+    return;
+  }
+  if (status == "ok") {
+    ++g.succeeded;
+    if (cost > g.max_met_cost) g.max_met_cost = cost;
+  } else {
+    ++g.unresolved;
+  }
+  g.total_cost += cost;
+  if (cost > g.max_cost) g.max_cost = cost;
+}
+
+/// Marks an outcome errored after its on_outcome callback threw (legacy
+/// containment semantics: the error is recorded, never escapes a worker).
+void record_callback_error(ExperimentOutcome& out, const std::exception& e) {
+  out.error += (out.error.empty() ? "" : "; ");
+  out.error += std::string("on_outcome callback threw: ") + e.what();
+  out.status = RunStatus::Error;
+}
+
+}  // namespace
+
+Schema sweep_schema() {
+  return {
+      {"index", ColumnType::U64},    {"name", ColumnType::Str},
+      {"kind", ColumnType::Str},     {"graph", ColumnType::Str},
+      {"adversary", ColumnType::Str}, {"algo", ColumnType::Str},
+      {"labels", ColumnType::Str},   {"seed", ColumnType::U64},
+      {"budget", ColumnType::U64},   {"status", ColumnType::Str},
+      {"cost", ColumnType::U64},     {"traversals_a", ColumnType::U64},
+      {"traversals_b", ColumnType::U64}, {"agents", ColumnType::U64},
+      {"fingerprint", ColumnType::Str},  {"error", ColumnType::Str},
+  };
+}
+
+Row sweep_row(const ExperimentSpec& spec, const ExperimentOutcome& outcome) {
+  std::string kind, graph, adversary, algo;
+  std::uint64_t seed = 0, budget = 0, agents = 0;
+  if (const RendezvousSpec* rv = spec.rendezvous()) {
+    kind = "rendezvous";
+    graph = rv->graph;
+    adversary = rv->adversary;
+    algo = rv->algo == RouteAlgo::Baseline ? "baseline" : "rv-asynch-poly";
+    seed = rv->seed;
+    budget = rv->budget;
+    agents = 2;
+  } else {
+    const SglSpec& sgl = *spec.sgl();
+    kind = "sgl";
+    graph = sgl.graph;
+    seed = sgl.seed;
+    budget = sgl.budget;
+    agents = sgl.team.empty() ? sgl.labels.size() : sgl.team.size();
+  }
+  std::uint64_t ta = 0, tb = 0;
+  if (const RendezvousOutcome* rv = outcome.rendezvous()) {
+    ta = rv->result.traversals_a;
+    tb = rv->result.traversals_b;
+  }
+  return {
+      static_cast<std::uint64_t>(outcome.index),
+      spec.display(),
+      kind,
+      graph,
+      adversary,
+      algo,
+      labels_text(spec),
+      seed,
+      budget,
+      outcome.status_label(),
+      outcome.cost,
+      ta,
+      tb,
+      agents,
+      spec.fingerprint().hex(),
+      outcome.error,
+  };
+}
+
+std::string PipelineReport::summary() const {
+  std::ostringstream os;
+  os << totals.scenarios << " scenarios: " << totals.succeeded << " ok, "
+     << totals.unresolved << " unresolved, " << totals.errored
+     << " errors, total cost " << totals.total_cost << " traversals (max "
+     << totals.max_cost << ")";
+  return os.str();
+}
+
+std::vector<GroupStats> PipelineReport::group_by(
+    const std::string& column) const {
+  const std::size_t key = column_index(schema, column);
+  const std::size_t status = column_index(schema, "status");
+  const std::size_t cost = column_index(schema, "cost");
+
+  std::vector<GroupStats> groups;
+  for (const Row& r : rows) {
+    const std::string k = render_value(r[key]);
+    GroupStats* g = nullptr;
+    for (GroupStats& existing : groups) {
+      if (existing.key == k) {
+        g = &existing;
+        break;
+      }
+    }
+    if (!g) {
+      groups.push_back({});
+      groups.back().key = k;
+      g = &groups.back();
+    }
+    accumulate(*g, render_value(r[status]), std::get<std::uint64_t>(r[cost]));
+  }
+  return groups;
+}
+
+std::pair<Schema, std::vector<Row>> group_table(
+    const std::string& key_name, const std::vector<GroupStats>& groups) {
+  Schema schema = {
+      {key_name, ColumnType::Str},       {"scenarios", ColumnType::U64},
+      {"ok", ColumnType::U64},           {"unresolved", ColumnType::U64},
+      {"errors", ColumnType::U64},       {"total_cost", ColumnType::U64},
+      {"max_cost", ColumnType::U64},     {"max_met_cost", ColumnType::U64},
+  };
+  std::vector<Row> rows;
+  rows.reserve(groups.size());
+  for (const GroupStats& g : groups) {
+    rows.push_back({g.key, g.scenarios, g.succeeded, g.unresolved, g.errored,
+                    g.total_cost, g.max_cost, g.max_met_cost});
+  }
+  return {std::move(schema), std::move(rows)};
+}
+
+PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const {
+  PipelineReport report;
+  report.outcomes.resize(specs.size());
+
+  std::mutex stream_mutex;
+  const auto deliver = [&](const ExperimentSpec& spec, ExperimentOutcome& out) {
+    if (!options_.on_outcome) return;
+    // Serialize the stream so callbacks may print / aggregate freely; a
+    // throwing callback must not escape a worker (std::terminate) — it is
+    // recorded on the outcome instead.
+    const std::lock_guard<std::mutex> lock(stream_mutex);
+    try {
+      options_.on_outcome(spec, out);
+    } catch (const std::exception& e) {
+      record_callback_error(out, e);
+    }
+  };
+
+  // Phase 1 — serve what the cache already knows.
+  std::vector<std::size_t> misses;
+  if (options_.cache) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (auto cached = options_.cache->lookup(specs[i])) {
+        cached->index = i;
+        ++report.cache_hits;
+        deliver(specs[i], *cached);
+        report.outcomes[i] = std::move(*cached);
+      } else {
+        misses.push_back(i);
+      }
+    }
+  } else {
+    misses.resize(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) misses[i] = i;
+  }
+
+  // Phase 2 — execute the misses across the pool.
+  report.executed = misses.size();
+  unsigned n_threads = options_.threads > 0
+                           ? static_cast<unsigned>(options_.threads)
+                           : std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 1;
+  if (n_threads > misses.size()) n_threads = static_cast<unsigned>(misses.size());
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t m = next.fetch_add(1);
+      if (m >= misses.size()) return;
+      const std::size_t i = misses[m];
+      ExperimentOutcome out = run_experiment(specs[i]);
+      out.index = i;
+      // Store before the callback (a throwing callback is an environmental
+      // failure of THIS run) and never store transient errors — both would
+      // poison the cache with failures a re-run could avoid.
+      if (options_.cache && !out.transient_error) {
+        options_.cache->store(specs[i], out);
+      }
+      deliver(specs[i], out);
+      report.outcomes[i] = std::move(out);
+    }
+  };
+
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Phase 3 — rows, aggregates and sinks, all in spec order: independent of
+  // scheduling and of the hit/miss split, so the emitted bytes are
+  // identical across thread counts and cache states.
+  report.specs = std::move(specs);
+  report.schema = sweep_schema();
+  report.rows.reserve(report.specs.size());
+  report.totals.key = "all";
+  for (std::size_t i = 0; i < report.specs.size(); ++i) {
+    const ExperimentOutcome& out = report.outcomes[i];
+    report.rows.push_back(sweep_row(report.specs[i], out));
+    accumulate(report.totals, out.status_label(), out.cost);
+  }
+  for (ResultSink* sink : options_.sinks) {
+    if (sink) emit(*sink, report.schema, report.rows);
+  }
+  return report;
+}
+
+}  // namespace asyncrv::runner

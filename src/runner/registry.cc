@@ -4,22 +4,11 @@
 #include <stdexcept>
 
 #include "graph/builders.h"
+#include "runner/encoding.h"
 
 namespace asyncrv::runner {
 
 namespace {
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::size_t begin = 0;
-  while (true) {
-    const std::size_t end = s.find(sep, begin);
-    parts.push_back(s.substr(begin, end - begin));
-    if (end == std::string::npos) break;
-    begin = end + 1;
-  }
-  return parts;
-}
 
 std::uint64_t parse_u64(const std::string& s, const std::string& id) {
   // Digits only: std::stoull would silently wrap negatives ("-3" becomes

@@ -1,10 +1,9 @@
 #include "runner/runner.h"
 
-#include <atomic>
 #include <iomanip>
-#include <mutex>
 #include <sstream>
-#include <thread>
+
+#include "runner/pipeline.h"
 
 namespace asyncrv::runner {
 
@@ -39,63 +38,35 @@ std::string ScenarioReport::table() const {
 }
 
 ScenarioReport ScenarioRunner::run(std::vector<ScenarioSpec> specs) const {
+  std::vector<ExperimentSpec> experiments;
+  experiments.reserve(specs.size());
+  for (const ScenarioSpec& s : specs) experiments.push_back(to_experiment(s));
+
+  PipelineOptions opts;
+  opts.threads = options_.threads;
+  if (options_.on_outcome) {
+    // The pipeline contains callback throws and records them on the
+    // outcome, exactly like the legacy runner did — so just adapt types.
+    opts.on_outcome = [this, &specs](const ExperimentSpec&,
+                                     const ExperimentOutcome& out) {
+      options_.on_outcome(specs[out.index], to_scenario_outcome(out));
+    };
+  }
+  const PipelineReport pipeline =
+      ExperimentPipeline(opts).run(std::move(experiments));
+
   ScenarioReport report;
-  report.outcomes.resize(specs.size());
-
-  unsigned n_threads = options_.threads > 0
-                           ? static_cast<unsigned>(options_.threads)
-                           : std::thread::hardware_concurrency();
-  if (n_threads == 0) n_threads = 1;
-  if (n_threads > specs.size()) n_threads = static_cast<unsigned>(specs.size());
-
-  std::atomic<std::size_t> next{0};
-  std::mutex stream_mutex;
-  const auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      ScenarioOutcome out = run_scenario(specs[i]);
-      out.index = i;
-      if (options_.on_outcome) {
-        // Serialize the stream so callbacks may print / aggregate freely. A
-        // throwing callback must not escape the worker (std::terminate);
-        // record it on the outcome instead.
-        const std::lock_guard<std::mutex> lock(stream_mutex);
-        try {
-          options_.on_outcome(specs[i], out);
-        } catch (const std::exception& e) {
-          out.error += (out.error.empty() ? "" : "; ");
-          out.error += std::string("on_outcome callback threw: ") + e.what();
-        }
-      }
-      report.outcomes[i] = std::move(out);
-    }
-  };
-
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
-  // Aggregate in spec order — independent of scheduling, so the report is
-  // identical across thread counts.
-  report.scenarios = specs.size();
-  for (const ScenarioOutcome& out : report.outcomes) {
-    if (!out.error.empty()) {
-      ++report.errored;
-    } else if (out.ok) {
-      ++report.succeeded;
-    } else {
-      ++report.unresolved;
-    }
-    report.total_cost += out.cost;
-    if (out.cost > report.max_cost) report.max_cost = out.cost;
-  }
   report.specs = std::move(specs);
+  report.outcomes.reserve(pipeline.outcomes.size());
+  for (const ExperimentOutcome& out : pipeline.outcomes) {
+    report.outcomes.push_back(to_scenario_outcome(out));
+  }
+  report.scenarios = pipeline.totals.scenarios;
+  report.succeeded = pipeline.totals.succeeded;
+  report.unresolved = pipeline.totals.unresolved;
+  report.errored = pipeline.totals.errored;
+  report.total_cost = pipeline.totals.total_cost;
+  report.max_cost = pipeline.totals.max_cost;
   return report;
 }
 

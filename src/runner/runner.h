@@ -1,15 +1,14 @@
-// ScenarioRunner — batched, parallel scenario execution.
+// DEPRECATED compatibility shims: ScenarioRunner over ExperimentPipeline.
 //
-// The runner executes a batch of ScenarioSpecs across a thread pool. Each
-// scenario is a pure function of its spec (own graph, own TrajKit, own
-// seeded PRNGs), so workers share nothing and the aggregated report is
-// bit-identical for every thread count — only wall-clock time changes.
-// Outcomes can additionally be streamed through a (serialized) callback as
-// scenarios finish, e.g. for progress display.
+// Kept for one release so out-of-tree callers keep compiling; new code
+// should use ExperimentPipeline (runner/pipeline.h), which adds typed
+// result sinks, group-by aggregation and the persistent sweep cache. The
+// shim preserves the legacy semantics exactly — including bit-identical
+// reports across thread counts — because it delegates to the pipeline.
 //
-// This is the sweep machinery every experiment harness and example binary
-// drives; future scaling work (sharded sweeps, async backends, result
-// caching) slots in behind this interface.
+// One deliberate fix is inherited from the pipeline: errored scenarios no
+// longer contribute to total_cost / max_cost (they ran no meaningful
+// simulation; counting their partial cost double-booked failures as load).
 #pragma once
 
 #include <cstdint>
@@ -21,13 +20,15 @@
 
 namespace asyncrv::runner {
 
-/// The aggregated view of one batch. Outcomes are index-aligned with the
-/// submitted specs regardless of completion order or thread count.
+/// DEPRECATED aggregated view of one batch (PipelineReport shim). Outcomes
+/// are index-aligned with the submitted specs regardless of completion
+/// order or thread count.
 struct ScenarioReport {
   std::vector<ScenarioSpec> specs;
   std::vector<ScenarioOutcome> outcomes;
 
-  // Aggregates (over outcomes, in spec order).
+  // Aggregates (over outcomes, in spec order). Cost aggregates exclude
+  // errored scenarios.
   std::uint64_t scenarios = 0;
   std::uint64_t succeeded = 0;   ///< met / completed
   std::uint64_t unresolved = 0;  ///< ran but no meeting / completion
@@ -50,6 +51,7 @@ struct RunnerOptions {
   std::function<void(const ScenarioSpec&, const ScenarioOutcome&)> on_outcome;
 };
 
+/// DEPRECATED batched parallel execution (ExperimentPipeline shim).
 class ScenarioRunner {
  public:
   explicit ScenarioRunner(RunnerOptions options = {})

@@ -1,121 +1,60 @@
 #include "runner/scenario.h"
 
-#include <stdexcept>
-
-#include "runner/registry.h"
-#include "rv/baseline.h"
-#include "rv/rv_route.h"
-#include "traj/traj.h"
+#include "util/prng.h"
 
 namespace asyncrv::runner {
 
-namespace {
-
-RouteFn make_route(const Graph& g, const TrajKit& kit, const ScenarioSpec& spec,
-                   Node start, std::uint64_t label) {
-  if (spec.algo == RouteAlgo::Baseline) {
-    const std::uint64_t n = g.size();
-    return make_walker_route(g, start, [&kit, n, label](Walker& w) {
-      return baseline_route(w, kit, n, label);
-    });
+ExperimentSpec to_experiment(const ScenarioSpec& spec) {
+  ExperimentSpec out;
+  out.name = spec.name;
+  if (spec.kind == ScenarioKind::Rendezvous) {
+    RendezvousSpec rv;
+    rv.graph = spec.graph;
+    rv.adversary = spec.adversary;
+    rv.algo = spec.algo;
+    rv.labels = spec.labels;
+    rv.starts = spec.starts;
+    rv.budget = spec.budget;
+    rv.seed = spec.seed;
+    rv.ppoly = spec.ppoly;
+    rv.kit_seed = spec.kit_seed;
+    rv.record_schedule = spec.record_schedule;
+    out.scenario = std::move(rv);
+  } else {
+    SglSpec sgl;
+    sgl.graph = spec.graph;
+    sgl.labels = spec.labels;
+    sgl.starts = spec.starts;
+    sgl.budget = spec.budget;
+    sgl.seed = spec.seed;
+    sgl.ppoly = spec.ppoly;
+    sgl.kit_seed = spec.kit_seed;
+    sgl.team = spec.sgl_team;
+    sgl.robust_phase3 = spec.sgl_robust_phase3;
+    out.scenario = std::move(sgl);
   }
-  return make_walker_route(g, start, [&kit, label](Walker& w) {
-    return rv_route(w, kit, label, nullptr);
-  });
+  return out;
 }
 
-void run_rendezvous_scenario(const ScenarioSpec& spec, ScenarioOutcome& out) {
-  if (spec.labels.size() != 2) {
-    throw std::logic_error("rendezvous scenario needs exactly 2 labels");
+ScenarioOutcome to_scenario_outcome(const ExperimentOutcome& outcome) {
+  ScenarioOutcome out;
+  out.index = outcome.index;
+  out.ok = outcome.ok();
+  out.budget_exhausted = outcome.budget_exhausted;
+  out.cost = outcome.cost;
+  out.error = outcome.error;
+  if (const RendezvousOutcome* rv = outcome.rendezvous()) {
+    out.rv = rv->result;
+    out.schedule = rv->schedule;
+  } else if (const SglOutcome* sgl = outcome.sgl()) {
+    out.sgl = sgl->run;
+    out.sgl_apps = sgl->apps;
   }
-  const Graph g = make_graph(spec.graph);
-  // Each scenario owns its kit: LengthCalculus memoizes internally, so
-  // sharing one across worker threads would race.
-  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
-
-  std::vector<Node> starts = spec.starts;
-  if (starts.empty()) starts = {0, g.size() - 1};
-  if (starts.size() != 2) {
-    throw std::logic_error("rendezvous scenario needs exactly 2 starts");
-  }
-
-  sim::SimEngine engine(g, sim::MeetingPolicy::Halt);
-  for (int i = 0; i < 2; ++i) {
-    engine.add_agent({make_route(g, kit, spec, starts[static_cast<std::size_t>(i)],
-                                 spec.labels[static_cast<std::size_t>(i)]),
-                      starts[static_cast<std::size_t>(i)], /*awake=*/true,
-                      sim::EndPolicy::Sticky});
-  }
-
-  std::unique_ptr<Adversary> adv = make_adversary(spec.adversary, spec.seed);
-  if (spec.record_schedule) {
-    adv = std::make_unique<RecordingAdversary>(std::move(adv), &out.schedule);
-  }
-  out.rv = sim::run_rendezvous(engine, *adv, spec.budget);
-  out.ok = out.rv.met;
-  out.budget_exhausted = out.rv.budget_exhausted;
-  out.cost = out.rv.cost();
-}
-
-void run_sgl_scenario(const ScenarioSpec& spec, ScenarioOutcome& out) {
-  const Graph g = make_graph(spec.graph);
-  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
-
-  std::vector<SglAgentSpec> team = spec.sgl_team;
-  if (team.empty()) {
-    if (spec.labels.size() < 2) {
-      throw std::logic_error("SGL scenario needs a team of >= 2 labels");
-    }
-    for (std::size_t i = 0; i < spec.labels.size(); ++i) {
-      SglAgentSpec s;
-      s.start = i < spec.starts.size() ? spec.starts[i] : static_cast<Node>(i);
-      s.label = spec.labels[i];
-      s.value = "val" + std::to_string(s.label);
-      team.push_back(s);
-    }
-  }
-
-  SglConfig cfg;
-  cfg.robust_phase3 = spec.sgl_robust_phase3;
-  const SglSolveOutcome solved =
-      solve_all_problems(g, kit, cfg, team, spec.budget, spec.seed);
-  out.sgl = solved.run;
-  out.sgl_apps = solved.apps;
-  out.ok = solved.run.completed;
-  out.budget_exhausted = solved.run.budget_exhausted;
-  out.cost = solved.run.total_traversals;
-}
-
-}  // namespace
-
-std::string ScenarioSpec::display() const {
-  if (!name.empty()) return name;
-  std::string s = graph;
-  if (kind == ScenarioKind::Rendezvous) s += " " + adversary;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    s += (i == 0 ? " L" : "/L") + std::to_string(labels[i]);
-  }
-  if (kind == ScenarioKind::Sgl && labels.empty()) {
-    for (std::size_t i = 0; i < sgl_team.size(); ++i) {
-      s += (i == 0 ? " L" : "/L") + std::to_string(sgl_team[i].label);
-    }
-  }
-  return s;
+  return out;
 }
 
 ScenarioOutcome run_scenario(const ScenarioSpec& spec) {
-  ScenarioOutcome out;
-  try {
-    if (spec.kind == ScenarioKind::Rendezvous) {
-      run_rendezvous_scenario(spec, out);
-    } else {
-      run_sgl_scenario(spec, out);
-    }
-  } catch (const std::exception& e) {
-    out.error = e.what();
-    out.ok = false;
-  }
-  return out;
+  return to_scenario_outcome(run_experiment(to_experiment(spec)));
 }
 
 std::vector<ScenarioSpec> rendezvous_sweep(
@@ -132,7 +71,8 @@ std::vector<ScenarioSpec> rendezvous_sweep(
         spec.adversary = adv;
         spec.labels = {la, lb};
         spec.budget = budget;
-        // Independent, reproducible schedule per cell.
+        // Independent, reproducible schedule per cell (matches
+        // rendezvous_grid cell-for-cell).
         spec.seed = splitmix64(seed ^ (specs.size() + 1));
         specs.push_back(std::move(spec));
       }

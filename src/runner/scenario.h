@@ -1,37 +1,29 @@
-// Scenario descriptions and single-scenario execution.
+// DEPRECATED compatibility shims over the typed experiment pipeline.
 //
-// A ScenarioSpec is a self-contained, value-semantic description of one
-// simulated execution: graph builder id × adversary × labels/starts ×
-// budget × seeds. Because the spec carries everything (including the
-// exploration-profile and kit seed), running it is a pure function — the
-// same spec always produces the same outcome, on any thread, which is what
-// makes the parallel ScenarioRunner's reports reproducible bit-for-bit.
+// The flat ScenarioSpec / ScenarioOutcome surface predates the typed
+// experiment API (runner/spec.h, runner/outcome.h, runner/pipeline.h) and
+// is kept for one release so out-of-tree callers keep compiling. It will
+// be removed; new code should build ExperimentSpecs and run them through
+// ExperimentPipeline (or run_experiment for a single scenario).
 //
-// Two scenario kinds cover the paper's two models:
-//  * Rendezvous — two agents (RV-asynch-poly or the exponential baseline)
-//    under a named adversary, through a Halt-policy sim::SimEngine;
-//  * Sgl — a k-agent Algorithm-SGL run (Section 4) with the randomized
-//    scheduler, through the Continue-policy engine behind MultiAgentSim.
+// Shim mapping:
+//   ScenarioSpec            -> ExperimentSpec   (to_experiment)
+//   ScenarioOutcome         -> ExperimentOutcome (to_scenario_outcome)
+//   run_scenario            -> run_experiment
+//   rendezvous_sweep        -> rendezvous_grid
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "sgl/apps.h"
-#include "sim/engine.h"
-#include "sim/trace.h"
+#include "runner/outcome.h"
+#include "runner/spec.h"
 
 namespace asyncrv::runner {
 
-enum class ScenarioKind { Rendezvous, Sgl };
-
-/// Route family of a rendezvous scenario.
-enum class RouteAlgo {
-  RvAsynchPoly,  ///< Algorithm RV-asynch-poly (Section 3.1) — needs no n
-  Baseline       ///< exponential baseline [17] — is GIVEN the graph size n
-};
-
+/// DEPRECATED flat spec: carries the union of both kinds' fields; `kind`
+/// selects which subset is meaningful. Prefer ExperimentSpec.
 struct ScenarioSpec {
   std::string name;                    ///< optional report label
   ScenarioKind kind = ScenarioKind::Rendezvous;
@@ -45,16 +37,17 @@ struct ScenarioSpec {
   std::string ppoly = "tiny";          ///< exploration profile
   std::uint64_t kit_seed = 0x5eed0001; ///< UXS seed of the TrajKit
   bool record_schedule = false;        ///< capture the adversary schedule
-  /// Explicit SGL team (dormancy, payloads, wake times); when empty a
-  /// default team is derived from labels/starts (all awake, value
-  /// "val<label>"). Ignored by rendezvous scenarios.
-  std::vector<SglAgentSpec> sgl_team;
+  std::vector<SglAgentSpec> sgl_team;  ///< explicit SGL team (kind == Sgl)
   bool sgl_robust_phase3 = true;
 
   /// Report label: `name` if set, else "<graph> <adversary> L<a>/L<b>".
-  std::string display() const;
+  std::string display() const { return to_experiment(*this).display(); }
+
+  friend ExperimentSpec to_experiment(const ScenarioSpec& spec);
 };
 
+/// DEPRECATED kitchen-sink outcome: every kind's payload is always present
+/// (default-constructed when not applicable). Prefer ExperimentOutcome.
 struct ScenarioOutcome {
   std::size_t index = 0;         ///< position within the submitted batch
   bool ok = false;               ///< met (rendezvous) / completed (SGL)
@@ -69,13 +62,14 @@ struct ScenarioOutcome {
   SglApplications sgl_apps;      ///< derived when the SGL run completed
 };
 
-/// Executes one scenario synchronously. Pure: depends only on the spec.
-/// Never throws — failures are reported through `outcome.error`.
+ScenarioOutcome to_scenario_outcome(const ExperimentOutcome& outcome);
+
+/// DEPRECATED: executes one scenario synchronously (run_experiment shim).
+/// Pure; never throws — failures are reported through `outcome.error`.
 ScenarioOutcome run_scenario(const ScenarioSpec& spec);
 
-/// Cross-product helper: one rendezvous spec per graph × adversary ×
-/// label pair. Seeds are derived per scenario from `seed` so that every
-/// cell runs an independent, reproducible schedule.
+/// DEPRECATED: cross-product helper (rendezvous_grid shim) returning flat
+/// specs with the same per-cell seed derivation.
 std::vector<ScenarioSpec> rendezvous_sweep(
     const std::vector<std::string>& graph_ids,
     const std::vector<std::string>& adversaries,

@@ -1,0 +1,154 @@
+#include "runner/spec.h"
+
+#include <sstream>
+
+#include "runner/encoding.h"
+#include "util/prng.h"
+
+namespace asyncrv::runner {
+
+namespace {
+
+// --- canonical form ---------------------------------------------------------
+//
+// Line-based `key=value` text with a versioned header. Strings are
+// percent-escaped (runner/encoding.h) so that separators (newline, comma,
+// colon, '%') occurring in user data (e.g. SGL payload values) cannot forge
+// field boundaries; everything else is emitted verbatim to keep the form
+// human-readable.
+
+const char kSpecVersion[] = "asyncrv.spec.v1";
+
+template <typename T>
+void field_list(std::ostream& os, const char* key, const std::vector<T>& v) {
+  os << key << '=';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << static_cast<std::uint64_t>(v[i]);
+  }
+  os << '\n';
+}
+
+void canonicalize(std::ostream& os, const RendezvousSpec& s) {
+  os << "kind=rendezvous\n";
+  os << "graph=" << percent_escape(s.graph) << '\n';
+  os << "adversary=" << percent_escape(s.adversary) << '\n';
+  os << "algo=" << (s.algo == RouteAlgo::Baseline ? "baseline" : "rv-asynch-poly")
+     << '\n';
+  field_list(os, "labels", s.labels);
+  field_list(os, "starts", s.starts);
+  os << "budget=" << s.budget << '\n';
+  os << "seed=" << s.seed << '\n';
+  os << "ppoly=" << percent_escape(s.ppoly) << '\n';
+  os << "kit_seed=" << s.kit_seed << '\n';
+  os << "record_schedule=" << (s.record_schedule ? 1 : 0) << '\n';
+}
+
+void canonicalize(std::ostream& os, const SglSpec& s) {
+  os << "kind=sgl\n";
+  os << "graph=" << percent_escape(s.graph) << '\n';
+  field_list(os, "labels", s.labels);
+  field_list(os, "starts", s.starts);
+  os << "budget=" << s.budget << '\n';
+  os << "seed=" << s.seed << '\n';
+  os << "ppoly=" << percent_escape(s.ppoly) << '\n';
+  os << "kit_seed=" << s.kit_seed << '\n';
+  os << "robust_phase3=" << (s.robust_phase3 ? 1 : 0) << '\n';
+  os << "team=" << s.team.size() << '\n';
+  for (std::size_t i = 0; i < s.team.size(); ++i) {
+    const SglAgentSpec& a = s.team[i];
+    os << "team." << i << '=' << a.start << ':' << a.label << ':'
+       << percent_escape(a.value) << ':' << (a.initially_awake ? 1 : 0) << ':'
+       << a.wake_after_units << '\n';
+  }
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t half = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const auto byte = static_cast<unsigned>((half >> shift) & 0xff);
+    out[static_cast<std::size_t>(2 * i)] = digits[byte >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = digits[byte & 0xf];
+  }
+  return out;
+}
+
+Fingerprint fingerprint_bytes(const std::string& bytes) {
+  // FNV-1a-128 with the standard offset basis and prime. Frozen: the golden
+  // fingerprints in tests/spec_test.cc pin this exact function.
+  u128 h = (u128{0x6c62272e07bb0142ULL} << 64) | 0x62b821756295c58dULL;
+  const u128 prime = (u128{0x0000000001000000ULL} << 64) | 0x000000000000013bULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= prime;
+  }
+  Fingerprint fp;
+  fp.hi = static_cast<std::uint64_t>(h >> 64);
+  fp.lo = static_cast<std::uint64_t>(h);
+  return fp;
+}
+
+std::vector<std::uint64_t> ExperimentSpec::labels() const {
+  if (const RendezvousSpec* rv = rendezvous()) return rv->labels;
+  const SglSpec& sgl = *this->sgl();
+  if (!sgl.labels.empty() || sgl.team.empty()) return sgl.labels;
+  std::vector<std::uint64_t> out;
+  out.reserve(sgl.team.size());
+  for (const SglAgentSpec& a : sgl.team) out.push_back(a.label);
+  return out;
+}
+
+std::string ExperimentSpec::display() const {
+  if (!name.empty()) return name;
+  std::string s;
+  if (const RendezvousSpec* rv = rendezvous()) {
+    s = rv->graph + " " + rv->adversary;
+    if (rv->algo == RouteAlgo::Baseline) s += " baseline";
+  } else {
+    s = sgl()->graph;
+  }
+  const std::vector<std::uint64_t> ls = labels();
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    s += (i == 0 ? " L" : "/L") + std::to_string(ls[i]);
+  }
+  return s;
+}
+
+std::string ExperimentSpec::canonical() const {
+  std::ostringstream os;
+  os << kSpecVersion << '\n';
+  std::visit([&os](const auto& payload) { canonicalize(os, payload); },
+             scenario);
+  return os.str();
+}
+
+std::vector<ExperimentSpec> rendezvous_grid(
+    const std::vector<std::string>& graph_ids,
+    const std::vector<std::string>& adversaries,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& label_pairs,
+    std::uint64_t budget, std::uint64_t seed) {
+  std::vector<ExperimentSpec> specs;
+  for (const std::string& g : graph_ids) {
+    for (const auto& [la, lb] : label_pairs) {
+      for (const std::string& adv : adversaries) {
+        RendezvousSpec rv;
+        rv.graph = g;
+        rv.adversary = adv;
+        rv.labels = {la, lb};
+        rv.budget = budget;
+        // Independent, reproducible schedule per cell (the same derivation
+        // the legacy rendezvous_sweep used, so historical tables hold).
+        rv.seed = splitmix64(seed ^ (specs.size() + 1));
+        specs.push_back({.name = "", .scenario = std::move(rv)});
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace asyncrv::runner

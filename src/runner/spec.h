@@ -1,0 +1,142 @@
+// Typed experiment specs — the canonical, cache-addressable description of
+// one simulated execution.
+//
+// The experiment pipeline (runner/pipeline.h) treats a scenario as a pure
+// function of its spec, so the spec must be (a) kind-typed — rendezvous and
+// SGL runs carry different parameters, enforced at compile time by a
+// std::variant instead of a kitchen-sink struct — and (b) content-
+// addressable: every spec has a canonical serialized form and a stable
+// 128-bit fingerprint derived from it, which is the key of the persistent
+// sweep cache (runner/cache.h) and the identity printed into machine-
+// readable reports.
+//
+// Fingerprint stability contract (DESIGN.md §3): the canonical form is
+// versioned (`asyncrv.spec.v1`), covers every semantic field in a fixed
+// order, and deliberately EXCLUDES the display-only `name`. The hash is
+// FNV-1a-128 with the standard offset basis / prime. Changing either the
+// canonical layout or the hash requires bumping the version token, and the
+// golden fingerprints pinned in tests/spec_test.cc exist to make any
+// accidental drift a test failure — stale cache keys, not wrong results,
+// are the failure mode they prevent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sgl/sgl.h"
+#include "util/u128.h"
+
+namespace asyncrv::runner {
+
+enum class ScenarioKind { Rendezvous, Sgl };
+
+/// Route family of a rendezvous scenario.
+enum class RouteAlgo {
+  RvAsynchPoly,  ///< Algorithm RV-asynch-poly (Section 3.1) — needs no n
+  Baseline       ///< exponential baseline [17] — is GIVEN the graph size n
+};
+
+/// A stable 128-bit spec identity (FNV-1a-128 of the canonical form).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex digits, the on-disk cache key.
+  std::string hex() const;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// FNV-1a-128 over arbitrary bytes (the fixed, documented hash behind every
+/// spec fingerprint). Not cryptographic; collision odds are negligible at
+/// sweep scale.
+Fingerprint fingerprint_bytes(const std::string& bytes);
+
+/// Two agents (RV-asynch-poly or the exponential baseline) under a named
+/// adversary, through a Halt-policy sim::SimEngine (Section 3).
+struct RendezvousSpec {
+  std::string graph = "ring:6";        ///< builder id (runner/registry.h)
+  std::string adversary = "fair";      ///< schedule name (runner/registry.h)
+  RouteAlgo algo = RouteAlgo::RvAsynchPoly;
+  std::vector<std::uint64_t> labels;   ///< exactly 2 (validated at run time)
+  std::vector<Node> starts;            ///< empty = default {0, n-1}
+  std::uint64_t budget = 20'000'000;   ///< combined traversal budget
+  std::uint64_t seed = 42;             ///< adversary PRNG seed
+  std::string ppoly = "tiny";          ///< exploration profile
+  std::uint64_t kit_seed = 0x5eed0001; ///< UXS seed of the TrajKit
+  bool record_schedule = false;        ///< capture the adversary schedule
+};
+
+/// A k-agent Algorithm-SGL run (Section 4) with the randomized scheduler,
+/// through the Continue-policy engine behind MultiAgentSim.
+struct SglSpec {
+  std::string graph = "ring:5";
+  std::vector<std::uint64_t> labels;   ///< >= 2 (ignored when team set)
+  std::vector<Node> starts;            ///< i-th label's start; empty = node i
+  std::uint64_t budget = 600'000'000;
+  std::uint64_t seed = 42;
+  std::string ppoly = "tiny";
+  std::uint64_t kit_seed = 0x5eed0001;
+  /// Explicit team (dormancy, payloads, wake times); when empty a default
+  /// team is derived from labels/starts (all awake, value "val<label>").
+  std::vector<SglAgentSpec> team;
+  bool robust_phase3 = true;
+};
+
+using SpecPayload = std::variant<RendezvousSpec, SglSpec>;
+
+/// One cell of a sweep: an optional display label plus the kind-typed
+/// scenario payload. Running it is a pure function of this value
+/// (runner/outcome.h), which is what makes parallel reports bit-identical
+/// across thread counts and cached outcomes safe to substitute for runs.
+struct ExperimentSpec {
+  std::string name;  ///< display-only; excluded from canonical/fingerprint
+  SpecPayload scenario = RendezvousSpec{};
+
+  ScenarioKind kind() const {
+    return std::holds_alternative<RendezvousSpec>(scenario)
+               ? ScenarioKind::Rendezvous
+               : ScenarioKind::Sgl;
+  }
+  const RendezvousSpec* rendezvous() const {
+    return std::get_if<RendezvousSpec>(&scenario);
+  }
+  const SglSpec* sgl() const { return std::get_if<SglSpec>(&scenario); }
+
+  /// The scenario's labels; for an explicit-team SGL spec with no label
+  /// list, the team's labels in spec order. One definition shared by
+  /// display() and the sweep table's "labels" column.
+  std::vector<std::uint64_t> labels() const;
+
+  /// Report label: `name` if set, else "<graph> <adversary> L<a>/L<b>".
+  std::string display() const;
+
+  /// The versioned canonical serialization (fixed field order, escaped
+  /// strings, `name` excluded). Equal canonical forms <=> equal semantics.
+  std::string canonical() const;
+
+  /// FNV-1a-128 of canonical() — the sweep-cache key.
+  Fingerprint fingerprint() const { return fingerprint_bytes(canonical()); }
+};
+
+/// Cross-product sweep builder: one rendezvous spec per graph × label pair
+/// × adversary. Seeds are derived per cell from `seed` (same derivation the
+/// legacy rendezvous_sweep used) so every cell runs an independent,
+/// reproducible schedule.
+std::vector<ExperimentSpec> rendezvous_grid(
+    const std::vector<std::string>& graph_ids,
+    const std::vector<std::string>& adversaries,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& label_pairs,
+    std::uint64_t budget, std::uint64_t seed);
+
+}  // namespace asyncrv::runner

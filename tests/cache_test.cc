@@ -1,0 +1,296 @@
+// The persistent sweep cache: exact outcome round-trips, cold-vs-warm
+// report identity at every thread count, and the corruption/version
+// tolerance contract (a bad entry is a miss, never an error).
+#include "runner/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runner/pipeline.h"
+#include "runner/registry.h"
+
+namespace asyncrv {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh, empty cache directory under the test temp dir.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("asyncrv_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+runner::ExperimentSpec rv_spec(std::uint64_t seed = 42,
+                               bool record_schedule = false) {
+  runner::RendezvousSpec rv;
+  rv.graph = "ring:5";
+  rv.adversary = "oscillating";
+  rv.labels = {5, 12};
+  rv.budget = 2'000'000;
+  rv.seed = seed;
+  rv.record_schedule = record_schedule;
+  return {.name = "", .scenario = std::move(rv)};
+}
+
+runner::ExperimentSpec sgl_spec() {
+  runner::SglSpec sgl;
+  sgl.graph = "ring:3";
+  sgl.labels = {3, 7};
+  sgl.budget = 60'000'000;
+  sgl.seed = 5;
+  return {.name = "", .scenario = std::move(sgl)};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(CacheCodec, RendezvousOutcomeRoundTripsExactly) {
+  const runner::ExperimentSpec spec = rv_spec(42, /*record_schedule=*/true);
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out.rendezvous()->schedule.steps.empty());
+
+  const std::string bytes = runner::encode_outcome(spec, out, 1);
+  const auto back = runner::decode_outcome(spec, bytes, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, out.status);
+  EXPECT_EQ(back->cost, out.cost);
+  EXPECT_EQ(back->budget_exhausted, out.budget_exhausted);
+  EXPECT_EQ(back->error, out.error);
+  const RendezvousResult &a = out.rendezvous()->result,
+                         &b = back->rendezvous()->result;
+  EXPECT_EQ(a.met, b.met);
+  EXPECT_TRUE(a.meeting_point == b.meeting_point);
+  EXPECT_EQ(a.traversals_a, b.traversals_a);
+  EXPECT_EQ(a.traversals_b, b.traversals_b);
+  ASSERT_EQ(out.rendezvous()->schedule.steps.size(),
+            back->rendezvous()->schedule.steps.size());
+  for (std::size_t i = 0; i < out.rendezvous()->schedule.steps.size(); ++i) {
+    EXPECT_EQ(out.rendezvous()->schedule.steps[i].agent,
+              back->rendezvous()->schedule.steps[i].agent);
+    EXPECT_EQ(out.rendezvous()->schedule.steps[i].delta,
+              back->rendezvous()->schedule.steps[i].delta);
+  }
+  // Re-encoding the decoded outcome reproduces the bytes — the encoder and
+  // decoder cannot drift apart silently.
+  EXPECT_EQ(runner::encode_outcome(spec, *back, 1), bytes);
+}
+
+TEST(CacheCodec, SglOutcomeRoundTripsWithDerivedApplications) {
+  const runner::ExperimentSpec spec = sgl_spec();
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  ASSERT_TRUE(out.ok());
+
+  const std::string bytes = runner::encode_outcome(spec, out, 1);
+  const auto back = runner::decode_outcome(spec, bytes, 1);
+  ASSERT_TRUE(back.has_value());
+  const runner::SglOutcome &a = *out.sgl(), &b = *back->sgl();
+  EXPECT_EQ(a.run.completed, b.run.completed);
+  EXPECT_EQ(a.run.total_traversals, b.run.total_traversals);
+  EXPECT_EQ(a.run.outputs, b.run.outputs);
+  EXPECT_EQ(a.run.final_states, b.run.final_states);
+  EXPECT_EQ(a.run.traversals_per_agent, b.run.traversals_per_agent);
+  // Applications are re-derived, not stored — and identical.
+  EXPECT_EQ(a.apps.team_size, b.apps.team_size);
+  EXPECT_EQ(a.apps.leader, b.apps.leader);
+  EXPECT_EQ(a.apps.new_name, b.apps.new_name);
+  EXPECT_EQ(a.apps.gossip, b.apps.gossip);
+}
+
+TEST(CacheCodec, ErrorOutcomeRoundTrips) {
+  runner::ExperimentSpec spec = rv_spec();
+  std::get<runner::RendezvousSpec>(spec.scenario).labels = {5};  // invalid
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  ASSERT_EQ(out.status, runner::RunStatus::Error);
+  const std::string bytes = runner::encode_outcome(spec, out, 1);
+  const auto back = runner::decode_outcome(spec, bytes, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, runner::RunStatus::Error);
+  EXPECT_EQ(back->error, out.error);
+}
+
+TEST(Cache, StoreThenLookupHits) {
+  const runner::SweepCache cache(fresh_dir("hit"));
+  const runner::ExperimentSpec spec = rv_spec();
+  EXPECT_FALSE(cache.lookup(spec).has_value());
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  cache.store(spec, out);
+  const auto hit = cache.lookup(spec);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cost, out.cost);
+  // A semantically different spec misses even though the dir is warm.
+  EXPECT_FALSE(cache.lookup(rv_spec(43)).has_value());
+}
+
+TEST(Cache, TruncatedEntryIsAMissNotAnError) {
+  const std::string dir = fresh_dir("trunc");
+  const runner::SweepCache cache(dir);
+  const runner::ExperimentSpec spec = rv_spec(42, /*record_schedule=*/true);
+  cache.store(spec, runner::run_experiment(spec));
+  const std::string path = cache.entry_path(spec);
+  const std::string bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  // Every proper prefix must be a clean miss (the "end" trailer guards).
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{17}, std::size_t{0}}) {
+    write_file(path, bytes.substr(0, keep));
+    EXPECT_FALSE(cache.lookup(spec).has_value()) << "prefix " << keep;
+  }
+  write_file(path, bytes);
+  EXPECT_TRUE(cache.lookup(spec).has_value());
+}
+
+TEST(Cache, CorruptedEntryIsAMissNotAnError) {
+  const std::string dir = fresh_dir("corrupt");
+  const runner::SweepCache cache(dir);
+  const runner::ExperimentSpec spec = rv_spec();
+  cache.store(spec, runner::run_experiment(spec));
+  const std::string path = cache.entry_path(spec);
+  const std::string good = read_file(path);
+
+  // Flipped cost digits -> still parses numerically; the decoder accepts
+  // it (contents are trusted once the spec matches) — so corrupt the
+  // structure instead: garbage bytes, a wrong header, a foreign spec.
+  write_file(path, "garbage\n");
+  EXPECT_FALSE(cache.lookup(spec).has_value());
+  write_file(path, "asyncrv.cache.v1\nnot-a-field\n");
+  EXPECT_FALSE(cache.lookup(spec).has_value());
+  std::string wrong_spec = good;
+  const std::size_t at = wrong_spec.find("adversary=oscillating");
+  ASSERT_NE(at, std::string::npos);
+  wrong_spec.replace(at, 21, "adversary=fair\n\n\n\n\n\n");
+  write_file(path, wrong_spec);
+  EXPECT_FALSE(cache.lookup(spec).has_value());
+
+  write_file(path, good);
+  EXPECT_TRUE(cache.lookup(spec).has_value());
+}
+
+TEST(Cache, VersionBumpInvalidatesEverything) {
+  const std::string dir = fresh_dir("version");
+  const runner::ExperimentSpec spec = rv_spec();
+  {
+    const runner::SweepCache v1(dir, 1);
+    v1.store(spec, runner::run_experiment(spec));
+    EXPECT_TRUE(v1.lookup(spec).has_value());
+  }
+  const runner::SweepCache v2(dir, 2);
+  EXPECT_FALSE(v2.lookup(spec).has_value());
+  // And after the v2 sweep rewrites it, v1 readers miss instead of
+  // misreading.
+  v2.store(spec, runner::run_experiment(spec));
+  EXPECT_TRUE(v2.lookup(spec).has_value());
+  EXPECT_FALSE(runner::SweepCache(dir, 1).lookup(spec).has_value());
+}
+
+TEST(Cache, ColdThenWarmSweepIsByteIdenticalAtEveryThreadCount) {
+  // The acceptance property: a >= 100-scenario sweep run cold, then warm,
+  // executes zero simulations the second time and emits byte-identical
+  // machine-readable reports, regardless of thread count.
+  const auto specs = runner::rendezvous_grid(
+      {"edge", "path:3", "ring:3", "ring:4", "star:5"},
+      adversary_battery_names(), {{1, 2}, {5, 12}},
+      /*budget=*/400'000, /*seed=*/0xbeef);
+  ASSERT_GE(specs.size(), 100u);
+  const runner::SweepCache cache(fresh_dir("sweep"));
+
+  const auto run_with = [&](int threads) {
+    std::ostringstream jsonl_bytes, csv_bytes;
+    runner::JsonlSink jsonl(jsonl_bytes);
+    runner::CsvSink csv(csv_bytes);
+    runner::PipelineOptions opts;
+    opts.threads = threads;
+    opts.cache = &cache;
+    opts.sinks = {&jsonl, &csv};
+    const runner::PipelineReport report =
+        runner::ExperimentPipeline(opts).run(specs);
+    return std::make_tuple(jsonl_bytes.str(), csv_bytes.str(),
+                           report.cache_hits, report.executed,
+                           report.summary());
+  };
+
+  const auto [cold_jsonl, cold_csv, cold_hits, cold_exec, cold_summary] =
+      run_with(4);
+  EXPECT_EQ(cold_hits, 0u);
+  EXPECT_EQ(cold_exec, specs.size());
+
+  for (const int threads : {1, 2, 4}) {
+    const auto [jsonl, csv, hits, exec, summary] = run_with(threads);
+    EXPECT_EQ(exec, 0u) << "warm run simulated cells @" << threads;
+    EXPECT_EQ(hits, specs.size());
+    EXPECT_EQ(jsonl, cold_jsonl) << "JSONL drifted @" << threads;
+    EXPECT_EQ(csv, cold_csv) << "CSV drifted @" << threads;
+    EXPECT_EQ(summary, cold_summary);
+  }
+}
+
+TEST(Cache, EnlargedGridOnlyExecutesNewCells) {
+  const runner::SweepCache cache(fresh_dir("grow"));
+  const auto small = runner::rendezvous_grid({"ring:3"}, {"fair", "random50"},
+                                             {{1, 2}}, 400'000, 7);
+  runner::PipelineOptions opts;
+  opts.cache = &cache;
+  const auto first = runner::ExperimentPipeline(opts).run(small);
+  EXPECT_EQ(first.executed, small.size());
+
+  // Same seed derivation + a second graph: the ring:3 cells are reused.
+  const auto grown = runner::rendezvous_grid({"ring:3", "path:3"},
+                                             {"fair", "random50"}, {{1, 2}},
+                                             400'000, 7);
+  const auto second = runner::ExperimentPipeline(opts).run(grown);
+  EXPECT_EQ(second.cache_hits, small.size());
+  EXPECT_EQ(second.executed, grown.size() - small.size());
+}
+
+TEST(Cache, EnvironmentalFailuresDoNotPoisonTheCache) {
+  // A scenario that ran fine but whose streamed callback threw is
+  // reported as errored for THIS run — yet the cache keeps the clean
+  // outcome (stored before the callback), so the next run is a clean hit.
+  const runner::SweepCache cache(fresh_dir("poison"));
+  const runner::ExperimentSpec spec = rv_spec();
+  runner::PipelineOptions opts;
+  opts.cache = &cache;
+  opts.on_outcome = [](const runner::ExperimentSpec&,
+                       const runner::ExperimentOutcome&) {
+    throw std::runtime_error("progress pipe closed");
+  };
+  const auto first = runner::ExperimentPipeline(opts).run({spec});
+  EXPECT_EQ(first.totals.errored, 1u);
+
+  runner::PipelineOptions clean;
+  clean.cache = &cache;
+  const auto second = runner::ExperimentPipeline(clean).run({spec});
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.totals.succeeded, 1u);
+  EXPECT_TRUE(second.outcomes[0].error.empty());
+}
+
+TEST(Cache, CachedErrorsAreServedWithoutReexecution) {
+  const runner::SweepCache cache(fresh_dir("errors"));
+  runner::ExperimentSpec bad = rv_spec();
+  std::get<runner::RendezvousSpec>(bad.scenario).graph = "gremlin:4";
+  runner::PipelineOptions opts;
+  opts.cache = &cache;
+  const auto first = runner::ExperimentPipeline(opts).run({bad});
+  EXPECT_EQ(first.totals.errored, 1u);
+  const auto second = runner::ExperimentPipeline(opts).run({bad});
+  EXPECT_EQ(second.executed, 0u);
+  EXPECT_EQ(second.totals.errored, 1u);
+  EXPECT_EQ(second.outcomes[0].error, first.outcomes[0].error);
+}
+
+}  // namespace
+}  // namespace asyncrv

@@ -1,0 +1,184 @@
+// The experiment pipeline: thread-count invariance on the typed API, sink
+// emission, aggregate hygiene (errored scenarios never contribute cost —
+// the regression behind the legacy ScenarioReport double-counting fix),
+// and the legacy ScenarioRunner shim's equivalence.
+#include "runner/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runner/registry.h"
+#include "runner/runner.h"
+
+namespace asyncrv {
+namespace {
+
+std::vector<runner::ExperimentSpec> small_grid() {
+  return runner::rendezvous_grid(
+      {"edge", "path:3", "ring:3", "ring:4", "star:5"},
+      adversary_battery_names(), {{1, 2}, {5, 12}},
+      /*budget=*/400'000, /*seed=*/0xbeef);
+}
+
+TEST(Pipeline, RowsAreThreadCountInvariant) {
+  const auto specs = small_grid();
+  ASSERT_GE(specs.size(), 100u);
+
+  runner::PipelineOptions serial;
+  serial.threads = 1;
+  runner::CollectorSink base_rows;
+  serial.sinks = {&base_rows};
+  const runner::PipelineReport base =
+      runner::ExperimentPipeline(serial).run(specs);
+
+  for (int threads : {2, 4}) {
+    runner::PipelineOptions opts;
+    opts.threads = threads;
+    runner::CollectorSink rows;
+    opts.sinks = {&rows};
+    const runner::PipelineReport par =
+        runner::ExperimentPipeline(opts).run(specs);
+    ASSERT_EQ(par.rows.size(), base.rows.size());
+    for (std::size_t i = 0; i < base.rows.size(); ++i) {
+      ASSERT_EQ(par.rows[i].size(), base.rows[i].size());
+      for (std::size_t c = 0; c < base.rows[i].size(); ++c) {
+        EXPECT_EQ(runner::render_value(par.rows[i][c]),
+                  runner::render_value(base.rows[i][c]))
+            << "row " << i << " col " << base.schema[c].name << " @"
+            << threads;
+      }
+    }
+    EXPECT_EQ(par.totals.succeeded, base.totals.succeeded);
+    EXPECT_EQ(par.totals.total_cost, base.totals.total_cost);
+    EXPECT_EQ(par.totals.max_cost, base.totals.max_cost);
+    // What the sinks saw is the same table.
+    ASSERT_EQ(rows.tables().size(), 1u);
+    EXPECT_EQ(rows.last().rows.size(), base_rows.last().rows.size());
+  }
+}
+
+TEST(Pipeline, ErroredScenariosAreExcludedFromCostAggregates) {
+  // A scenario that RAN (cost > 0) but whose streamed callback threw is
+  // counted as errored; its cost must not inflate the totals. This is the
+  // double-counting regression: the legacy runner kept such costs.
+  runner::RendezvousSpec good;
+  good.graph = "ring:4";
+  good.labels = {5, 12};
+  good.budget = 1'000'000;
+  good.adversary = "fair";
+  const runner::ExperimentSpec spec{.name = "", .scenario = good};
+
+  const runner::PipelineReport clean =
+      runner::ExperimentPipeline().run({spec, spec});
+  ASSERT_EQ(clean.totals.errored, 0u);
+  ASSERT_GT(clean.totals.total_cost, 0u);
+
+  runner::PipelineOptions opts;
+  std::size_t calls = 0;
+  opts.on_outcome = [&calls](const runner::ExperimentSpec&,
+                             const runner::ExperimentOutcome&) {
+    if (++calls == 2) throw std::runtime_error("progress pipe closed");
+  };
+  opts.threads = 1;
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(opts).run({spec, spec});
+  EXPECT_EQ(report.totals.errored, 1u);
+  EXPECT_EQ(report.totals.succeeded, 1u);
+  // Only the clean scenario contributes; both ran with identical cost.
+  EXPECT_EQ(report.totals.total_cost, clean.totals.total_cost / 2);
+  EXPECT_EQ(report.totals.max_cost, clean.totals.max_cost);
+}
+
+TEST(Pipeline, LegacyShimMatchesTypedPipeline) {
+  // The deprecated ScenarioRunner delegates to the pipeline: same
+  // outcomes, same aggregates, and the legacy sweep builder produces the
+  // same cells as rendezvous_grid.
+  const auto legacy_specs = runner::rendezvous_sweep(
+      {"ring:4", "path:3"}, {"fair", "random50"}, {{5, 12}}, 1'000'000, 1);
+  const auto typed_specs = runner::rendezvous_grid(
+      {"ring:4", "path:3"}, {"fair", "random50"}, {{5, 12}}, 1'000'000, 1);
+  ASSERT_EQ(legacy_specs.size(), typed_specs.size());
+  for (std::size_t i = 0; i < legacy_specs.size(); ++i) {
+    EXPECT_EQ(to_experiment(legacy_specs[i]).fingerprint(),
+              typed_specs[i].fingerprint());
+  }
+
+  const runner::ScenarioReport legacy =
+      runner::ScenarioRunner().run(legacy_specs);
+  const runner::PipelineReport typed =
+      runner::ExperimentPipeline().run(typed_specs);
+  ASSERT_EQ(legacy.outcomes.size(), typed.outcomes.size());
+  for (std::size_t i = 0; i < legacy.outcomes.size(); ++i) {
+    EXPECT_EQ(legacy.outcomes[i].ok, typed.outcomes[i].ok());
+    EXPECT_EQ(legacy.outcomes[i].cost, typed.outcomes[i].cost);
+  }
+  EXPECT_EQ(legacy.total_cost, typed.totals.total_cost);
+  EXPECT_EQ(legacy.max_cost, typed.totals.max_cost);
+}
+
+TEST(Pipeline, LegacyReportExcludesErroredCosts) {
+  // Same regression, pinned on the legacy shim type (satellite fix): a
+  // callback-errored scenario keeps its error but loses its cost weight.
+  const auto specs = runner::rendezvous_sweep({"ring:4"}, {"fair", "random50"},
+                                              {{5, 12}}, 1'000'000, 3);
+  const runner::ScenarioReport clean = runner::ScenarioRunner().run(specs);
+  ASSERT_EQ(clean.errored, 0u);
+  ASSERT_GT(clean.total_cost, 0u);
+
+  runner::RunnerOptions opts;
+  opts.threads = 1;
+  opts.on_outcome = [](const runner::ScenarioSpec&,
+                       const runner::ScenarioOutcome&) {
+    throw std::runtime_error("boom");
+  };
+  const runner::ScenarioReport report = runner::ScenarioRunner(opts).run(specs);
+  EXPECT_EQ(report.errored, 2u);
+  EXPECT_EQ(report.total_cost, 0u);  // every scenario errored => no cost
+  EXPECT_EQ(report.max_cost, 0u);
+  // The outcome itself still reports what the run measured.
+  EXPECT_GT(report.outcomes[0].cost, 0u);
+  EXPECT_NE(report.outcomes[0].error.find("on_outcome callback threw"),
+            std::string::npos);
+}
+
+TEST(Pipeline, StreamedCallbackSeesEveryScenario) {
+  auto specs = runner::rendezvous_grid({"ring:4", "path:3"},
+                                       {"fair", "random50"}, {{5, 12}},
+                                       1'000'000, 1);
+  ASSERT_EQ(specs.size(), 4u);
+  std::set<std::size_t> seen;
+  runner::PipelineOptions opts;
+  opts.threads = 2;
+  opts.on_outcome = [&seen](const runner::ExperimentSpec&,
+                            const runner::ExperimentOutcome& out) {
+    seen.insert(out.index);
+  };
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(opts).run(std::move(specs));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(report.totals.scenarios, 4u);
+}
+
+TEST(Pipeline, SweepRowCarriesFingerprintAndStatus) {
+  runner::RendezvousSpec rv;
+  rv.graph = "ring:5";
+  rv.labels = {5, 12};
+  rv.budget = 2'000'000;
+  const runner::ExperimentSpec spec{.name = "", .scenario = rv};
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline().run({spec});
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(runner::render_value(
+                runner::cell(report.schema, report.rows[0], "fingerprint")),
+            spec.fingerprint().hex());
+  EXPECT_EQ(runner::render_value(
+                runner::cell(report.schema, report.rows[0], "status")),
+            "ok");
+  EXPECT_EQ(runner::render_value(
+                runner::cell(report.schema, report.rows[0], "kind")),
+            "rendezvous");
+}
+
+}  // namespace
+}  // namespace asyncrv
