@@ -98,5 +98,47 @@ void BM_SweepContact(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepContact);
 
+/// N agents parked inside pairwise disjoint ring edges; agent 0 oscillates
+/// strictly inside its own edge, so every advance is one zero-contact
+/// sweep. With the occupancy index the cost is flat in N (only the sweep's
+/// own buckets are consulted); the Reference variant below is the retained
+/// O(N) scan — running both across N in {2, 4, 8, 16} makes the
+/// O(N) -> O(contacts) change directly observable.
+void run_zero_contact_sweeps(benchmark::State& state, bool reference_scan) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_ring(static_cast<Node>(2 * n));
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue);
+  eng.set_reference_scan(reference_scan);
+  for (int i = 0; i < n; ++i) {
+    const Node start = static_cast<Node>(2 * i);
+    auto used = std::make_shared<bool>(false);
+    eng.add_agent({[&g, start, used]() -> std::optional<Move> {
+                     if (*used) return std::nullopt;
+                     *used = true;
+                     const Graph::Half h = g.step(start, 0);
+                     return Move{start, h.to, 0, h.port_at_to};
+                   },
+                   start, true, sim::EndPolicy::Retry});
+  }
+  for (int i = 0; i < n; ++i) eng.advance(i, kEdgeUnits / 2);
+  const std::int64_t amp = kEdgeUnits / 4;
+  std::int64_t dir = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.advance(0, dir * amp));
+    dir = -dir;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ZeroContactSweep(benchmark::State& state) {
+  run_zero_contact_sweeps(state, /*reference_scan=*/false);
+}
+BENCHMARK(BM_ZeroContactSweep)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ZeroContactSweepReference(benchmark::State& state) {
+  run_zero_contact_sweeps(state, /*reference_scan=*/true);
+}
+BENCHMARK(BM_ZeroContactSweepReference)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
 }  // namespace
 }  // namespace asyncrv

@@ -24,7 +24,8 @@ RouteFn make_route(const Graph& g, const TrajKit& kit, const RendezvousSpec& spe
   });
 }
 
-void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out) {
+void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out,
+                    sim::EngineScratch* scratch) {
   if (spec.labels.size() != 2) {
     throw std::logic_error("rendezvous scenario needs exactly 2 labels");
   }
@@ -39,7 +40,7 @@ void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out) {
     throw std::logic_error("rendezvous scenario needs exactly 2 starts");
   }
 
-  sim::SimEngine engine(g, sim::MeetingPolicy::Halt);
+  sim::SimEngine engine(g, sim::MeetingPolicy::Halt, nullptr, scratch);
   for (int i = 0; i < 2; ++i) {
     engine.add_agent({make_route(g, kit, spec, starts[static_cast<std::size_t>(i)],
                                  spec.labels[static_cast<std::size_t>(i)]),
@@ -59,7 +60,8 @@ void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out) {
   out.result = std::move(res);
 }
 
-void run_sgl(const SglSpec& spec, ExperimentOutcome& out) {
+void run_sgl(const SglSpec& spec, ExperimentOutcome& out,
+             sim::EngineScratch* scratch) {
   const Graph g = make_graph(spec.graph);
   const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
   const std::vector<SglAgentSpec> team = effective_sgl_team(spec);
@@ -67,7 +69,7 @@ void run_sgl(const SglSpec& spec, ExperimentOutcome& out) {
   SglConfig cfg;
   cfg.robust_phase3 = spec.robust_phase3;
   const SglSolveOutcome solved =
-      solve_all_problems(g, kit, cfg, team, spec.budget, spec.seed);
+      solve_all_problems(g, kit, cfg, team, spec.budget, spec.seed, scratch);
   SglOutcome res;
   res.run = solved.run;
   res.apps = solved.apps;
@@ -108,12 +110,17 @@ std::vector<SglAgentSpec> effective_sgl_team(const SglSpec& spec) {
 }
 
 ExperimentOutcome run_experiment(const ExperimentSpec& spec) {
+  return run_experiment(spec, nullptr);
+}
+
+ExperimentOutcome run_experiment(const ExperimentSpec& spec,
+                                 sim::EngineScratch* scratch) {
   ExperimentOutcome out;
   try {
     if (const RendezvousSpec* rv = spec.rendezvous()) {
-      run_rendezvous(*rv, out);
+      run_rendezvous(*rv, out, scratch);
     } else {
-      run_sgl(*spec.sgl(), out);
+      run_sgl(*spec.sgl(), out, scratch);
     }
   } catch (const std::logic_error& e) {
     // Spec/invariant violations (registry parse errors, ASYNCRV_CHECK):

@@ -66,6 +66,13 @@ struct ExperimentOutcome {
 /// Never throws — failures are reported through `outcome.error`.
 ExperimentOutcome run_experiment(const ExperimentSpec& spec);
 
+/// Same, reusing a caller-owned simulation-engine arena (occupancy index +
+/// sweep scratch) across calls. The pipeline passes one arena per worker
+/// thread so back-to-back scenarios stop reallocating engine state; the
+/// outcome is identical either way.
+ExperimentOutcome run_experiment(const ExperimentSpec& spec,
+                                 sim::EngineScratch* scratch);
+
 /// The team an SglSpec actually runs: `team` verbatim when non-empty, else
 /// one awake agent per label (start = starts[i] or node i, value
 /// "val<label>"). Throws std::logic_error when fewer than 2 agents result.

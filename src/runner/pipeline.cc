@@ -213,11 +213,15 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
 
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() {
+    // One engine arena per worker: back-to-back scenarios on this thread
+    // reuse the occupancy index and sweep scratch instead of reallocating
+    // per run. Outcomes are unaffected (tests/pipeline_test.cc).
+    sim::EngineScratch scratch;
     while (true) {
       const std::size_t m = next.fetch_add(1);
       if (m >= misses.size()) return;
       const std::size_t i = misses[m];
-      ExperimentOutcome out = run_experiment(specs[i]);
+      ExperimentOutcome out = run_experiment(specs[i], &scratch);
       out.index = i;
       // Store before the callback (a throwing callback is an environmental
       // failure of THIS run) and never store transient errors — both would

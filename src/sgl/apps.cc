@@ -31,8 +31,9 @@ SglSolveOutcome solve_all_problems(const Graph& g, const TrajKit& kit,
                                    SglConfig cfg,
                                    const std::vector<SglAgentSpec>& specs,
                                    std::uint64_t budget_traversals,
-                                   std::uint64_t adversary_seed) {
-  SglRun run(g, kit, cfg, specs);
+                                   std::uint64_t adversary_seed,
+                                   sim::EngineScratch* scratch) {
+  SglRun run(g, kit, cfg, specs, scratch);
   SglSolveOutcome outcome;
   outcome.run = run.run(budget_traversals, adversary_seed);
   if (outcome.run.completed) {

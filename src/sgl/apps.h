@@ -40,6 +40,7 @@ SglSolveOutcome solve_all_problems(const Graph& g, const TrajKit& kit,
                                    SglConfig cfg,
                                    const std::vector<SglAgentSpec>& specs,
                                    std::uint64_t budget_traversals,
-                                   std::uint64_t adversary_seed);
+                                   std::uint64_t adversary_seed,
+                                   sim::EngineScratch* scratch = nullptr);
 
 }  // namespace asyncrv

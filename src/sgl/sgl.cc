@@ -222,8 +222,9 @@ Generator<Move> SglAgent::behavior() {
 }
 
 SglRun::SglRun(const Graph& g, const TrajKit& kit, SglConfig cfg,
-               const std::vector<SglAgentSpec>& specs)
-    : g_(&g), kit_(&kit), cfg_(cfg), specs_(specs), sim_(g) {
+               const std::vector<SglAgentSpec>& specs,
+               sim::EngineScratch* scratch)
+    : g_(&g), kit_(&kit), cfg_(cfg), specs_(specs), sim_(g, scratch) {
   ASYNCRV_CHECK_MSG(specs.size() >= 2, "SGL requires a team of size k > 1");
   for (const SglAgentSpec& spec : specs) {
     ASYNCRV_CHECK(spec.label >= 1);

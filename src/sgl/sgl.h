@@ -145,8 +145,11 @@ struct SglRunResult {
 /// Owns the simulation of one SGL execution.
 class SglRun {
  public:
+  /// `scratch` optionally shares a reusable simulation-engine arena across
+  /// back-to-back runs on one thread (see sim::EngineScratch).
   SglRun(const Graph& g, const TrajKit& kit, SglConfig cfg,
-         const std::vector<SglAgentSpec>& specs);
+         const std::vector<SglAgentSpec>& specs,
+         sim::EngineScratch* scratch = nullptr);
 
   /// Drives the run under a randomized fair-ish adversary until every agent
   /// outputs, the traversal budget is exhausted, or no progress is possible.

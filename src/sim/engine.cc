@@ -1,10 +1,34 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/adversary.h"
 
 namespace asyncrv::sim {
+
+SimEngine::SimEngine(const Graph& g, MeetingPolicy policy, EventSink* sink,
+                     EngineScratch* scratch)
+    : g_(&g), policy_(policy), sink_(sink), scratch_(scratch) {
+  if (scratch_ == nullptr) {
+    owned_scratch_ = std::make_unique<EngineScratch>();
+    scratch_ = owned_scratch_.get();
+  }
+  // (Re)shape the arena for this graph: clear every bucket (stale
+  // residents of a previous scenario must never resurface) and grow —
+  // never shrink — so a shared arena keeps its high-water buckets across
+  // mixed-size scenarios instead of reallocating the tail per run.
+  for (auto& b : scratch_->node_residents) b.clear();
+  for (auto& b : scratch_->edge_residents) b.clear();
+  if (scratch_->node_residents.size() < g.size()) {
+    scratch_->node_residents.resize(g.size());
+  }
+  if (scratch_->edge_residents.size() < g.edge_count()) {
+    scratch_->edge_residents.resize(g.edge_count());
+  }
+  scratch_->contacts.clear();
+  scratch_->group.clear();
+}
 
 int SimEngine::add_agent(EngineAgentSpec spec) {
   ASYNCRV_CHECK(spec.source != nullptr);
@@ -18,14 +42,21 @@ int SimEngine::add_agent(EngineAgentSpec spec) {
   s.at = spec.start;
   s.awake = spec.awake;
   s.end_policy = spec.end_policy;
+  s.res_on_edge = false;
+  s.res_id = spec.start;
   agents_.push_back(std::move(s));
-  return static_cast<int>(agents_.size()) - 1;
+  const int idx = static_cast<int>(agents_.size()) - 1;
+  bucket(false, spec.start).push_back(idx);
+  return idx;
 }
 
 Pos SimEngine::position(int idx) const {
   const AgentState& a = agents_[checked(idx)];
   if (!a.cur) return Pos::at_node(a.at);
-  return pos_on_move(*g_, *a.cur, a.prog);
+  if (a.prog == 0) return Pos::at_node(a.cur->from);
+  if (a.prog == kEdgeUnits) return Pos::at_node(a.cur->to);
+  return Pos::on_edge(a.cur_eid,
+                      canonical_offset(a.cur->from, a.cur->to, a.prog));
 }
 
 std::uint64_t SimEngine::charged_traversals(int idx) const {
@@ -52,35 +83,164 @@ void SimEngine::fire_meeting(int mover, const std::vector<int>& group) {
   if (sink_ != nullptr) sink_->on_meeting(mover, group);
 }
 
+void SimEngine::update_residency(int idx) {
+  AgentState& a = agents_[static_cast<std::size_t>(idx)];
+  bool on_edge = false;
+  std::uint32_t id;
+  if (!a.cur) {
+    id = a.at;
+  } else if (a.prog == 0) {
+    id = a.cur->from;
+  } else if (a.prog == kEdgeUnits) {
+    id = a.cur->to;
+  } else {
+    on_edge = true;
+    id = a.cur_eid;
+  }
+  if (on_edge == a.res_on_edge && id == a.res_id) return;
+  std::vector<int>& old_bucket = bucket(a.res_on_edge, a.res_id);
+  for (std::size_t i = 0; i < old_bucket.size(); ++i) {
+    if (old_bucket[i] == idx) {
+      old_bucket[i] = old_bucket.back();
+      old_bucket.pop_back();
+      break;
+    }
+  }
+  bucket(on_edge, id).push_back(idx);
+  a.res_on_edge = on_edge;
+  a.res_id = id;
+}
+
+void SimEngine::collect_contacts(int idx, std::int64_t from_prog,
+                                 std::int64_t to_prog) {
+  const AgentState& a = agents_[static_cast<std::size_t>(idx)];
+  ASYNCRV_DCHECK(a.cur.has_value());
+  const Move& m = *a.cur;
+  auto& contacts = scratch_->contacts;
+  contacts.clear();
+  const std::int64_t lo = from_prog < to_prog ? from_prog : to_prog;
+  const std::int64_t hi = from_prog < to_prog ? to_prog : from_prog;
+  // A contact needs a position with a progress parameter on this move:
+  // the node m.from (progress 0), the node m.to (progress kEdgeUnits), or
+  // the interior of this canonical edge. The occupancy buckets of exactly
+  // those three places are the complete candidate set — no other agent can
+  // be touched, however large N is.
+  if (lo == 0) {
+    for (int j : scratch_->node_residents[m.from]) {
+      if (j != idx) contacts.push_back({0, j});
+    }
+  }
+  if (hi == kEdgeUnits) {
+    for (int j : scratch_->node_residents[m.to]) {
+      if (j != idx) contacts.push_back({kEdgeUnits, j});
+    }
+  }
+  const bool fwd_edge = m.from < m.to;
+  for (int j : scratch_->edge_residents[a.cur_eid]) {
+    if (j == idx) continue;
+    const AgentState& o = agents_[static_cast<std::size_t>(j)];
+    ASYNCRV_DCHECK(o.cur.has_value());
+    const std::int64_t off = canonical_offset(o.cur->from, o.cur->to, o.prog);
+    const std::int64_t at = fwd_edge ? off : kEdgeUnits - off;
+    if (at < lo || at > hi) continue;
+    contacts.push_back({at, j});
+  }
+}
+
 bool SimEngine::process_sweep(int idx, std::int64_t from_prog,
                               std::int64_t to_prog) {
   AgentState& a = agents_[checked(idx)];
-  // Collect contacts (other agent, progress parameter) within the sweep.
-  std::vector<std::pair<std::int64_t, int>> contacts;
-  for (int j = 0; j < agent_count(); ++j) {
-    if (j == idx) continue;
-    const auto c = sweep_contact(*g_, *a.cur, from_prog, to_prog, position(j));
-    if (c) contacts.emplace_back(*c, j);
-  }
-  if (contacts.empty()) {
+
+  if (reference_scan_) {
+    // Retained pre-index sweep (PR 2, verbatim): O(N) scan and per-sweep
+    // vector allocations. The differential oracle for the fuzz test and
+    // the honest "before" lane of bench_engine_hot.
+    std::vector<std::pair<std::int64_t, int>> contacts;
+    for (int j = 0; j < agent_count(); ++j) {
+      if (j == idx) continue;
+      const auto c =
+          sweep_contact(*g_, *a.cur, from_prog, to_prog, position(j));
+      if (c) contacts.emplace_back(*c, j);
+    }
+    if (contacts.empty()) {
+      a.prog = to_prog;
+      update_residency(idx);
+      return false;
+    }
+    const bool forward = to_prog >= from_prog;
+    // Tie-break on the agent index: the pre-index engine collected
+    // contacts in index order and relied on small-range std::sort leaving
+    // ties in place, which not every standard library guarantees. Making
+    // the tie order explicit pins the oracle (and the historical event
+    // order) on any stdlib.
+    std::sort(contacts.begin(), contacts.end(),
+              [forward](const auto& x, const auto& y) {
+                if (x.first != y.first) {
+                  return forward ? x.first < y.first : x.first > y.first;
+                }
+                return x.second < y.second;
+              });
+    if (policy_ == MeetingPolicy::Halt) {
+      const std::int64_t cp = contacts.front().first;
+      meeting_ = position(contacts.front().second);
+      a.prog = cp;
+      update_residency(idx);
+      met_ = true;
+      std::vector<int> group;
+      for (const auto& [p, j] : contacts) {
+        if (p == cp) group.push_back(j);
+      }
+      fire_meeting(idx, group);
+      return true;
+    }
     a.prog = to_prog;
+    update_residency(idx);
+    std::size_t i = 0;
+    while (i < contacts.size()) {
+      std::size_t j = i;
+      std::vector<int> group;
+      while (j < contacts.size() && contacts[j].first == contacts[i].first) {
+        group.push_back(contacts[j].second);
+        ++j;
+      }
+      fire_meeting(idx, group);
+      i = j;
+    }
+    return false;
+  }
+
+  collect_contacts(idx, from_prog, to_prog);
+  auto& contacts = scratch_->contacts;
+  if (contacts.empty()) {
+    // Fast-forward: the agent is provably alone on the swept interval, so
+    // the whole sweep is one O(1) progress assignment.
+    a.prog = to_prog;
+    update_residency(idx);
     return false;
   }
   const bool forward = to_prog >= from_prog;
+  // Ties break on the agent index: bucket iteration order is arbitrary
+  // (swap-erase perturbs it), and the pre-index engine visited co-located
+  // agents in index order — sorting on (progress, agent) reproduces its
+  // event order exactly.
   std::sort(contacts.begin(), contacts.end(),
-            [forward](const auto& x, const auto& y) {
-              return forward ? x.first < y.first : x.first > y.first;
+            [forward](const EngineScratch::Contact& x,
+                      const EngineScratch::Contact& y) {
+              if (x.at != y.at) return forward ? x.at < y.at : x.at > y.at;
+              return x.agent < y.agent;
             });
 
   if (policy_ == MeetingPolicy::Halt) {
     // The first contact ends the run: stop exactly there.
-    const std::int64_t cp = contacts.front().first;
-    meeting_ = position(contacts.front().second);
+    const std::int64_t cp = contacts.front().at;
+    meeting_ = position(contacts.front().agent);
     a.prog = cp;
+    update_residency(idx);
     met_ = true;
-    std::vector<int> group;
-    for (const auto& [p, j] : contacts) {
-      if (p == cp) group.push_back(j);
+    auto& group = scratch_->group;
+    group.clear();
+    for (const EngineScratch::Contact& c : contacts) {
+      if (c.at == cp) group.push_back(c.agent);
     }
     fire_meeting(idx, group);
     return true;
@@ -89,18 +249,48 @@ bool SimEngine::process_sweep(int idx, std::int64_t from_prog,
   // Continue policy: the mover finishes the sweep; every distinct contact
   // point yields one grouped meeting event, in sweep order.
   a.prog = to_prog;
+  update_residency(idx);
   std::size_t i = 0;
   while (i < contacts.size()) {
     std::size_t j = i;
-    std::vector<int> group;
-    while (j < contacts.size() && contacts[j].first == contacts[i].first) {
-      group.push_back(contacts[j].second);
+    auto& group = scratch_->group;
+    group.clear();
+    while (j < contacts.size() && contacts[j].at == contacts[i].at) {
+      group.push_back(contacts[j].agent);
       ++j;
     }
     fire_meeting(idx, group);
     i = j;
   }
   return false;
+}
+
+std::optional<Move> SimEngine::pull_move(AgentState& a) {
+  // Retry sources (the SGL model) may depend on events that have not
+  // happened yet — never pre-pull them.
+  if (a.end_policy == EndPolicy::Retry) return a.source();
+  if (a.ring_count == 0) {
+    if (a.source_done) return std::nullopt;
+    a.ring_head = 0;
+    const int want = a.ring_fill;
+    for (int i = 0; i < want; ++i) {
+      auto m = a.source();
+      if (!m) {
+        a.source_done = true;
+        break;
+      }
+      a.ring[a.ring_count++] = *m;
+    }
+    if (a.ring_fill < kRingCap) {
+      a.ring_fill = static_cast<std::uint8_t>(
+          std::min<int>(a.ring_fill * 2, kRingCap));
+    }
+    if (a.ring_count == 0) return std::nullopt;
+  }
+  Move m = a.ring[a.ring_head];
+  ++a.ring_head;
+  --a.ring_count;
+  return m;
 }
 
 std::int64_t SimEngine::advance(int idx, std::int64_t delta) {
@@ -122,16 +312,18 @@ std::int64_t SimEngine::advance(int idx, std::int64_t delta) {
   while (delta > 0) {
     if (!a.cur) {
       if (a.ended) break;
-      auto m = a.source();
+      auto m = pull_move(a);
       if (!m) {
         if (a.end_policy == EndPolicy::Sticky) a.ended = true;
         break;
       }
       ASYNCRV_CHECK_MSG(m->from == a.at, "route move must start at current node");
       a.cur = *m;
+      a.cur_eid = g_->edge_id(m->from, m->port_out);
       a.prog = 0;
       // Leaving a node: co-location at the node itself counts as a meeting
       // and is caught by the sweep below (progress interval includes 0).
+      // The position — and hence the residency bucket — is unchanged.
     }
     const std::int64_t room = kEdgeUnits - a.prog;
     const std::int64_t step = delta < room ? delta : room;
@@ -145,6 +337,9 @@ std::int64_t SimEngine::advance(int idx, std::int64_t delta) {
       a.at = a.cur->to;
       a.cur.reset();
       a.prog = 0;
+      // The sweep already parked the residency at the arrival node; the
+      // reset does not move the position.
+      ASYNCRV_DCHECK(!a.res_on_edge && a.res_id == a.at);
     }
   }
   return consumed;
@@ -155,9 +350,35 @@ bool SimEngine::would_meet_within_edge(int idx, std::int64_t delta) const {
   if (!a.cur || delta <= 0) return false;
   std::int64_t target = a.prog + delta;
   if (target > kEdgeUnits) target = kEdgeUnits;
-  for (int j = 0; j < agent_count(); ++j) {
+
+  if (reference_scan_) {
+    for (int j = 0; j < agent_count(); ++j) {
+      if (j == idx) continue;
+      if (sweep_contact(*g_, *a.cur, a.prog, target, position(j))) return true;
+    }
+    return false;
+  }
+
+  const Move& m = *a.cur;
+  const std::int64_t lo = a.prog;
+  const std::int64_t hi = target;
+  if (lo == 0) {
+    for (int j : scratch_->node_residents[m.from]) {
+      if (j != idx) return true;
+    }
+  }
+  if (hi == kEdgeUnits) {
+    for (int j : scratch_->node_residents[m.to]) {
+      if (j != idx) return true;
+    }
+  }
+  const bool fwd_edge = m.from < m.to;
+  for (int j : scratch_->edge_residents[a.cur_eid]) {
     if (j == idx) continue;
-    if (sweep_contact(*g_, *a.cur, a.prog, target, position(j))) return true;
+    const AgentState& o = agents_[static_cast<std::size_t>(j)];
+    const std::int64_t off = canonical_offset(o.cur->from, o.cur->to, o.prog);
+    const std::int64_t at = fwd_edge ? off : kEdgeUnits - off;
+    if (at >= lo && at <= hi) return true;
   }
   return false;
 }
@@ -167,7 +388,14 @@ RendezvousResult run_rendezvous(SimEngine& engine, Adversary& adv,
   RendezvousResult res;
   // Guards against adversaries that stop making progress (e.g. endlessly
   // oscillating): the walk in each edge must eventually cover all of it.
-  const std::uint64_t max_steps = 16 * max_total_traversals + (1u << 20);
+  // Saturating: 16 * budget + 2^20 must never wrap for huge budgets (a
+  // wrapped guard could spuriously exhaust a practically-unbounded run).
+  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+  constexpr std::uint64_t kSlack = std::uint64_t{1} << 20;
+  const std::uint64_t max_steps =
+      max_total_traversals > (kU64Max - kSlack) / 16
+          ? kU64Max
+          : 16 * max_total_traversals + kSlack;
   std::uint64_t steps = 0;
   while (!engine.met()) {
     if (engine.charged_traversals(0) + engine.charged_traversals(1) >=

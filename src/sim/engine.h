@@ -15,15 +15,28 @@
 // time (typically a suspended trajectory coroutine), so the engine never
 // materializes the astronomically long routes of the paper. Adversary
 // strategies (sim/adversary.h) drive any engine, regardless of N.
+//
+// Hot-path architecture (DESIGN.md §5): the engine maintains an
+// edge-occupancy index — for every canonical edge the agents currently in
+// its interior, and for every node the agents currently at it — so a sweep
+// consults only the agents that can possibly be contacted (the sweep's own
+// edge and its two endpoints) instead of scanning all N. The per-sweep
+// contact scratch and the meeting-group buffer live in an EngineScratch
+// arena and are reused, so the steady state allocates nothing; Sticky
+// routes are pulled through a small ring buffer that batches coroutine
+// resumes. The pre-index naive scan is retained (set_reference_scan) as
+// the differential-testing oracle.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "sim/position.h"
 #include "traj/walker.h"
+#include "util/inline_vec.h"
 
 namespace asyncrv {
 
@@ -63,6 +76,9 @@ enum class MeetingPolicy { Halt, Continue };
 /// Receives the engine's events. Geometry stays in the engine; what a wake
 /// or a meeting *means* is the adapter's business (e.g. MultiAgentSim
 /// distributes a group meeting to every member's AgentLogic).
+///
+/// Event handlers must not re-enter advance()/wake() on the delivering
+/// engine: the event references the engine's reusable sweep scratch.
 class EventSink {
  public:
   virtual ~EventSink() = default;
@@ -82,11 +98,32 @@ struct EngineAgentSpec {
   EndPolicy end_policy = EndPolicy::Sticky;
 };
 
+/// Reusable per-engine working memory: the occupancy index buckets (sized
+/// for the engine's graph) and the per-sweep contact / meeting-group
+/// scratch. An engine owns a private arena by default; batch executors
+/// (runner::ExperimentPipeline) pass one arena per worker thread so
+/// back-to-back scenarios reuse the grown buffers instead of reallocating
+/// the index for every run. Not movable — create in place and reuse.
+struct EngineScratch {
+  struct Contact {
+    std::int64_t at = 0;  ///< progress parameter on the sweeping move
+    int agent = -1;
+  };
+
+  EngineScratch() = default;
+  EngineScratch(const EngineScratch&) = delete;
+  EngineScratch& operator=(const EngineScratch&) = delete;
+
+  std::vector<std::vector<int>> node_residents;  ///< node -> agents at it
+  std::vector<std::vector<int>> edge_residents;  ///< eid -> agents inside it
+  InlineVec<Contact, 8> contacts;                ///< per-sweep contact list
+  std::vector<int> group;                        ///< per-event meeting group
+};
+
 class SimEngine {
  public:
   explicit SimEngine(const Graph& g, MeetingPolicy policy,
-                     EventSink* sink = nullptr)
-      : g_(&g), policy_(policy), sink_(sink) {}
+                     EventSink* sink = nullptr, EngineScratch* scratch = nullptr);
 
   /// Registers an agent; returns its index. Starts must be pairwise
   /// distinct nodes (co-located starts would be an instant meeting).
@@ -127,20 +164,41 @@ class SimEngine {
   Pos meeting_point() const { return meeting_; }
   const Graph& graph() const { return *g_; }
 
+  /// Switches sweeps (and would_meet_within_edge) to the retained naive
+  /// all-agents scan instead of the occupancy index — the differential
+  /// oracle for tests/engine_fuzz_test.cc. Results must be identical
+  /// event-for-event; only the constant factor differs.
+  void set_reference_scan(bool on) { reference_scan_ = on; }
+
  private:
+  /// Sticky routes are pulled through a small ring that batches coroutine
+  /// resumes; the fill size ramps 1 -> 2 -> 4 -> 8 so short runs never
+  /// generate route ahead of what they consume.
+  static constexpr int kRingCap = 8;
+
   struct AgentState {
     MoveSource source;
     std::optional<Move> cur;
     std::int64_t prog = 0;  // progress along cur, in [0, kEdgeUnits]
     Node at = 0;            // valid when !cur
+    std::uint32_t cur_eid = 0;  // canonical edge id of cur, valid when cur
     std::uint64_t completed = 0;
     bool awake = true;
     bool ended = false;
     EndPolicy end_policy = EndPolicy::Sticky;
+    // Occupancy-index residency: the bucket this agent currently lives in.
+    bool res_on_edge = false;
+    std::uint32_t res_id = 0;  // node id or canonical edge id
+    // Batched move-pull ring (Sticky agents only).
+    Move ring[kRingCap];
+    std::uint8_t ring_head = 0;
+    std::uint8_t ring_count = 0;
+    std::uint8_t ring_fill = 1;  // next refill size, ramps up to kRingCap
+    bool source_done = false;
   };
 
   std::size_t checked(int idx) const {
-    ASYNCRV_CHECK(idx >= 0 && idx < agent_count());
+    ASYNCRV_DCHECK(idx >= 0 && idx < agent_count());
     return static_cast<std::size_t>(idx);
   }
 
@@ -149,14 +207,35 @@ class SimEngine {
   /// Returns true if the engine halted at a contact (Halt policy).
   bool process_sweep(int idx, std::int64_t from_prog, std::int64_t to_prog);
 
+  /// Fills scratch.contacts with every (progress, agent) contact of the
+  /// sweep, consulting only the occupancy buckets of the sweep's edge and
+  /// its two endpoint nodes — the complete candidate set, whatever N is.
+  void collect_contacts(int idx, std::int64_t from_prog, std::int64_t to_prog);
+
+  /// Recomputes agent idx's occupancy bucket from its position and moves it
+  /// between buckets if it changed. O(bucket size) = O(co-located agents).
+  void update_residency(int idx);
+
+  /// Next route move of agent a: straight from the source for Retry agents
+  /// (their sources may depend on events), through the batching ring for
+  /// Sticky agents (their routes are fixed sequences, safe to pre-pull).
+  std::optional<Move> pull_move(AgentState& a);
+
   /// Wakes the group's dormant members, then fires one meeting event.
   void fire_meeting(int mover, const std::vector<int>& group_at_point);
+
+  std::vector<int>& bucket(bool on_edge, std::uint32_t id) {
+    return on_edge ? scratch_->edge_residents[id] : scratch_->node_residents[id];
+  }
 
   const Graph* g_;
   MeetingPolicy policy_;
   EventSink* sink_;
+  EngineScratch* scratch_;                      // the arena in use
+  std::unique_ptr<EngineScratch> owned_scratch_;  // set when none was passed
   std::vector<AgentState> agents_;
   bool met_ = false;
+  bool reference_scan_ = false;
   Pos meeting_;
 };
 

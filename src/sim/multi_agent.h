@@ -49,8 +49,10 @@ class AgentLogic {
 
 class MultiAgentSim final : private sim::EventSink {
  public:
-  explicit MultiAgentSim(const Graph& g)
-      : engine_(g, sim::MeetingPolicy::Continue, this) {}
+  /// `scratch` optionally shares a reusable engine arena (occupancy index +
+  /// sweep buffers) across back-to-back simulations on one thread.
+  explicit MultiAgentSim(const Graph& g, sim::EngineScratch* scratch = nullptr)
+      : engine_(g, sim::MeetingPolicy::Continue, this, scratch) {}
 
   /// Registers an agent; returns its index. The logic must outlive the sim.
   int add_agent(AgentLogic* logic, Node start, bool awake);

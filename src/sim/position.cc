@@ -15,11 +15,13 @@ std::string Pos::str() const {
 }
 
 Pos pos_on_move(const Graph& g, const Move& m, std::int64_t prog) {
-  ASYNCRV_CHECK(prog >= 0 && prog <= kEdgeUnits);
+  // Called once per sweep endpoint on the hot path; the range invariant is
+  // the engine's, so it is debug-only.
+  ASYNCRV_DCHECK(prog >= 0 && prog <= kEdgeUnits);
   if (prog == 0) return Pos::at_node(m.from);
   if (prog == kEdgeUnits) return Pos::at_node(m.to);
-  const std::uint32_t eid = g.edge_id(m.from, m.port_out);
-  return Pos::on_edge(eid, canonical_offset(m.from, m.to, prog));
+  return Pos::on_edge(g.edge_id(m.from, m.port_out),
+                      canonical_offset(m.from, m.to, prog));
 }
 
 std::optional<std::int64_t> progress_of(const Graph& g, const Move& m, const Pos& p) {

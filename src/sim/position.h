@@ -38,7 +38,9 @@ struct Pos {
   }
 
   static Pos on_edge(std::uint32_t eid, std::int64_t off) {
-    ASYNCRV_CHECK(off > 0 && off < kEdgeUnits);
+    // Constructed on every interior position of the sweep hot path; the
+    // range invariant is the caller's and debug-only.
+    ASYNCRV_DCHECK(off > 0 && off < kEdgeUnits);
     Pos p;
     p.kind = Kind::Edge;
     p.eid = eid;
@@ -57,7 +59,9 @@ struct Pos {
 
 /// Canonical offset (distance from the lower-numbered endpoint) of the
 /// point at progress `prog` along the directed traversal from->to.
+/// Runs on every sweep of the hot path; the range invariant is debug-only.
 inline std::int64_t canonical_offset(Node from, Node to, std::int64_t prog) {
+  ASYNCRV_DCHECK(prog >= 0 && prog <= kEdgeUnits);
   return from < to ? prog : kEdgeUnits - prog;
 }
 

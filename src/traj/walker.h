@@ -29,6 +29,9 @@ struct Trail {
 
   std::size_t size() const { return entry_ports.size(); }
   bool empty() const { return entry_ports.empty(); }
+  /// Pre-sizes the recording so the first traversals of a freshly
+  /// registered trail do not reallocate move-by-move.
+  void reserve(std::size_t n) { entry_ports.reserve(n); }
 };
 
 class Walker {
@@ -49,7 +52,9 @@ class Walker {
     Move m{cur_, h.to, p, h.port_at_to};
     cur_ = h.to;
     ++moves_;
-    ASYNCRV_CHECK(m.port_in >= 0 && m.port_in < 65536);
+    // Runs once per edge traversal of every route; the graph guarantees
+    // the entry-port range, so the narrowing check is debug-only.
+    ASYNCRV_DCHECK(m.port_in >= 0 && m.port_in < 65536);
     for (Trail* t : trails_) t->entry_ports.push_back(static_cast<std::uint16_t>(m.port_in));
     return m;
   }
@@ -78,10 +83,17 @@ class Walker {
 };
 
 /// RAII registration of a trail on a walker. Safe against abrupt coroutine
-/// destruction: the destructor always unregisters.
+/// destruction: the destructor always unregisters. Registration reserves a
+/// first chunk of the recording so short backtrack segments never grow
+/// their trail one move at a time.
 class TrailScope {
  public:
-  TrailScope(Walker& w, Trail& t) : w_(&w), t_(&t) { w_->register_trail(t_); }
+  static constexpr std::size_t kInitialReserve = 64;
+
+  TrailScope(Walker& w, Trail& t) : w_(&w), t_(&t) {
+    t_->reserve(kInitialReserve);
+    w_->register_trail(t_);
+  }
   TrailScope(const TrailScope&) = delete;
   TrailScope& operator=(const TrailScope&) = delete;
   ~TrailScope() { w_->unregister_trail(t_); }

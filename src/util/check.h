@@ -3,6 +3,12 @@
 // ASYNCRV_CHECK is used for preconditions and internal invariants of the
 // library. Violations throw std::logic_error so that tests can assert on
 // misuse without aborting the whole process.
+//
+// ASYNCRV_DCHECK is the debug-only variant for per-traversal hot paths
+// (sweep geometry, engine accessors, the walker's move loop): it compiles
+// to nothing in NDEBUG builds so the steady-state simulation pays no
+// branch for invariants that only a bug in this library could violate.
+// Define ASYNCRV_ENABLE_DCHECKS to force it on in optimized builds.
 #pragma once
 
 #include <sstream>
@@ -30,3 +36,17 @@ namespace asyncrv {
   do {                                                                  \
     if (!(expr)) ::asyncrv::check_failed(#expr, __FILE__, __LINE__, msg); \
   } while (0)
+
+#if !defined(NDEBUG) || defined(ASYNCRV_ENABLE_DCHECKS)
+#define ASYNCRV_DCHECKS_ENABLED 1
+#define ASYNCRV_DCHECK(expr) ASYNCRV_CHECK(expr)
+#define ASYNCRV_DCHECK_MSG(expr, msg) ASYNCRV_CHECK_MSG(expr, msg)
+#else
+#define ASYNCRV_DCHECKS_ENABLED 0
+#define ASYNCRV_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#define ASYNCRV_DCHECK_MSG(expr, msg) \
+  do {                                \
+  } while (0)
+#endif

@@ -1,0 +1,78 @@
+// A small-buffer vector for allocation-free hot paths.
+//
+// InlineVec<T, N> keeps up to N elements in-object and only touches the
+// heap when a burst exceeds the inline capacity; clear() never releases
+// storage. The simulation engine keeps its per-sweep contact scratch in
+// one of these, so the overwhelmingly common small-contact sweeps do no
+// allocation at all and the rare large group allocates once and then
+// reuses the grown buffer for the rest of the run.
+//
+// Restricted to trivially copyable, trivially destructible T (the engine
+// stores PODs); deliberately neither copyable nor movable — instances live
+// inside a scratch arena that is created in place and reused, never passed
+// around by value.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "util/check.h"
+
+namespace asyncrv {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "InlineVec is for POD-ish element types");
+
+ public:
+  InlineVec() = default;
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data_[size_++] = v;
+  }
+
+  T& operator[](std::size_t i) {
+    ASYNCRV_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    ASYNCRV_DCHECK(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    auto bigger = std::make_unique<T[]>(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) bigger[i] = data_[i];
+    heap_ = std::move(bigger);
+    data_ = heap_.get();
+    cap_ = new_cap;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  std::unique_ptr<T[]> heap_;
+};
+
+}  // namespace asyncrv

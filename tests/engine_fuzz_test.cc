@@ -1,0 +1,223 @@
+// Differential fuzz of the occupancy-indexed sweep path.
+//
+// Two engines run the same randomized scenario move-for-move: one on the
+// indexed hot path, one on the retained reference scan
+// (SimEngine::set_reference_scan — the verbatim pre-index O(N) sweep).
+// Every observable — advance return values, positions, wake flags, route
+// ends, traversal counts, the full event stream, would_meet_within_edge
+// probes, met state and meeting point — must agree exactly, across
+// N in {2..6}, mixed awake/dormant starts, Halt and Continue policies,
+// and forward/backward deltas.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "graph/builders.h"
+#include "sim/engine.h"
+#include "util/prng.h"
+
+namespace asyncrv {
+namespace {
+
+/// A deterministic scripted move source over a fixed port list.
+sim::MoveSource scripted(const Graph& g, Node start,
+                         const std::vector<Port>& ports) {
+  struct State {
+    Node at;
+    std::size_t next = 0;
+  };
+  auto st = std::make_shared<State>(State{start});
+  auto plist = std::make_shared<std::vector<Port>>(ports);
+  return [&g, st, plist]() -> std::optional<Move> {
+    if (st->next >= plist->size()) return std::nullopt;
+    const Port p = (*plist)[st->next++];
+    const Graph::Half h = g.step(st->at, p);
+    Move m{st->at, h.to, p, h.port_at_to};
+    st->at = h.to;
+    return m;
+  };
+}
+
+struct Event {
+  bool wake = false;
+  int who = -1;
+  std::vector<int> others;
+
+  bool operator==(const Event& o) const {
+    return wake == o.wake && who == o.who && others == o.others;
+  }
+};
+
+struct RecordingSink final : sim::EventSink {
+  std::vector<Event> events;
+  void on_wake(int agent) override { events.push_back({true, agent, {}}); }
+  void on_meeting(int mover, const std::vector<int>& others) override {
+    events.push_back({false, mover, others});
+  }
+};
+
+Graph scenario_graph(Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:
+      return make_ring(static_cast<Node>(rng.between(4, 12)));
+    case 1:
+      return make_path(static_cast<Node>(rng.between(3, 9)));
+    case 2:
+      return make_complete(static_cast<Node>(rng.between(4, 6)));
+    case 3:
+      return make_petersen();
+    case 4:
+      return make_torus(3, 3);
+    default:
+      return make_random_connected(static_cast<Node>(rng.between(5, 9)), 3,
+                                   rng.next());
+  }
+}
+
+/// One randomized scenario, executed against both sweep implementations.
+void run_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  const Graph g = scenario_graph(rng);
+  const int n = static_cast<int>(rng.between(2, 6));
+  if (static_cast<Node>(n) > g.size()) return;  // not enough distinct starts
+  const sim::MeetingPolicy policy = rng.chance(1, 2)
+                                        ? sim::MeetingPolicy::Halt
+                                        : sim::MeetingPolicy::Continue;
+
+  // Distinct starts, random route scripts, random dormancy (agent 0 always
+  // awake so every scenario actually moves).
+  std::vector<Node> starts;
+  for (Node v = 0; v < g.size(); ++v) starts.push_back(v);
+  for (std::size_t i = starts.size(); i > 1; --i) {
+    std::swap(starts[i - 1], starts[rng.below(i)]);
+  }
+  std::vector<std::vector<Port>> scripts;
+  std::vector<bool> awake;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Port> ports;
+    Node at = starts[static_cast<std::size_t>(i)];
+    const std::size_t len = rng.between(0, 48);
+    for (std::size_t k = 0; k < len; ++k) {
+      const Port p =
+          static_cast<Port>(rng.below(static_cast<std::uint64_t>(g.degree(at))));
+      ports.push_back(p);
+      at = g.step(at, p).to;
+    }
+    scripts.push_back(std::move(ports));
+    awake.push_back(i == 0 || rng.chance(2, 3));
+  }
+
+  RecordingSink sink_idx, sink_ref;
+  sim::SimEngine indexed(g, policy, &sink_idx);
+  sim::SimEngine reference(g, policy, &sink_ref);
+  reference.set_reference_scan(true);
+  for (int i = 0; i < n; ++i) {
+    const sim::EndPolicy end =
+        policy == sim::MeetingPolicy::Halt ? sim::EndPolicy::Sticky
+                                           : sim::EndPolicy::Retry;
+    const Node s = starts[static_cast<std::size_t>(i)];
+    indexed.add_agent({scripted(g, s, scripts[static_cast<std::size_t>(i)]), s,
+                       awake[static_cast<std::size_t>(i)], end});
+    reference.add_agent({scripted(g, s, scripts[static_cast<std::size_t>(i)]),
+                         s, awake[static_cast<std::size_t>(i)], end});
+  }
+
+  const int steps = static_cast<int>(rng.between(30, 90));
+  for (int step = 0; step < steps; ++step) {
+    const int agent = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (rng.chance(1, 12)) {
+      indexed.wake(agent);
+      reference.wake(agent);
+    }
+    std::int64_t delta;
+    if (rng.chance(1, 4)) {
+      delta = -static_cast<std::int64_t>(rng.between(1, kEdgeUnits));
+    } else {
+      delta = static_cast<std::int64_t>(rng.between(1, 3 * kEdgeUnits));
+    }
+    // Peek probes must agree before the move is committed.
+    const std::int64_t probe =
+        static_cast<std::int64_t>(rng.between(1, kEdgeUnits));
+    ASSERT_EQ(indexed.would_meet_within_edge(agent, probe),
+              reference.would_meet_within_edge(agent, probe))
+        << "seed " << seed << " step " << step;
+
+    ASSERT_EQ(indexed.advance(agent, delta), reference.advance(agent, delta))
+        << "seed " << seed << " step " << step;
+
+    ASSERT_EQ(indexed.met(), reference.met()) << "seed " << seed;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(indexed.position(i) == reference.position(i))
+          << "seed " << seed << " step " << step << " agent " << i;
+      ASSERT_EQ(indexed.awake(i), reference.awake(i)) << "seed " << seed;
+      ASSERT_EQ(indexed.route_ended(i), reference.route_ended(i))
+          << "seed " << seed;
+      ASSERT_EQ(indexed.charged_traversals(i), reference.charged_traversals(i))
+          << "seed " << seed;
+      ASSERT_EQ(indexed.completed_traversals(i),
+                reference.completed_traversals(i))
+          << "seed " << seed;
+    }
+    if (indexed.met()) {
+      ASSERT_TRUE(indexed.meeting_point() == reference.meeting_point())
+          << "seed " << seed;
+      break;
+    }
+  }
+
+  ASSERT_EQ(sink_idx.events.size(), sink_ref.events.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < sink_idx.events.size(); ++i) {
+    ASSERT_TRUE(sink_idx.events[i] == sink_ref.events[i])
+        << "seed " << seed << " event " << i;
+  }
+}
+
+TEST(EngineFuzz, IndexedSweepMatchesReferenceScan) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) run_scenario(seed);
+}
+
+TEST(EngineFuzz, DenseCoLocationGroups) {
+  // Many agents deliberately funnelled through one edge: node-bucket and
+  // edge-bucket contacts mix, groups have more than one member.
+  const Graph g = make_star(6);
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 977);
+    RecordingSink sink_idx, sink_ref;
+    sim::SimEngine indexed(g, sim::MeetingPolicy::Continue, &sink_idx);
+    sim::SimEngine reference(g, sim::MeetingPolicy::Continue, &sink_ref);
+    reference.set_reference_scan(true);
+    // Every leaf agent repeatedly bounces leaf -> hub -> leaf.
+    const int n = 5;
+    for (int i = 0; i < n; ++i) {
+      const Node leaf = static_cast<Node>(i + 1);
+      std::vector<Port> bounce;
+      for (int k = 0; k < 12; ++k) {
+        bounce.push_back(0);                      // leaf -> hub
+        bounce.push_back(static_cast<Port>(i));   // hub -> same leaf
+      }
+      indexed.add_agent(
+          {scripted(g, leaf, bounce), leaf, true, sim::EndPolicy::Retry});
+      reference.add_agent(
+          {scripted(g, leaf, bounce), leaf, true, sim::EndPolicy::Retry});
+    }
+    for (int step = 0; step < 80; ++step) {
+      const int agent =
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      const std::int64_t delta =
+          rng.chance(1, 4)
+              ? -static_cast<std::int64_t>(rng.between(1, kEdgeUnits / 2))
+              : static_cast<std::int64_t>(rng.between(1, 2 * kEdgeUnits));
+      ASSERT_EQ(indexed.advance(agent, delta), reference.advance(agent, delta))
+          << "seed " << seed << " step " << step;
+    }
+    ASSERT_EQ(sink_idx.events.size(), sink_ref.events.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < sink_idx.events.size(); ++i) {
+      ASSERT_TRUE(sink_idx.events[i] == sink_ref.events[i])
+          << "seed " << seed << " event " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncrv

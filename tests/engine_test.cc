@@ -192,5 +192,37 @@ TEST(SimEngine, RejectsDuplicateStarts) {
   EXPECT_THROW(eng.add_agent({scripted(g, 0, {}), 0}), std::logic_error);
 }
 
+TEST(SimEngine, BatchedPullKeepsRouteEndTiming) {
+  // Sticky routes are pre-pulled through the batching ring; the observable
+  // end of the route must still be the advance AFTER the last edge was
+  // consumed, exactly like move-by-move pulling.
+  Graph g = make_ring(6);
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue);
+  eng.add_agent({scripted(g, 0, {0, 0, 0}), 0, true, sim::EndPolicy::Sticky});
+  eng.add_agent({scripted(g, 3, {}), 3, true, sim::EndPolicy::Retry});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(eng.advance(0, kEdgeUnits), kEdgeUnits) << "edge " << i;
+    EXPECT_FALSE(eng.route_ended(0)) << "edge " << i;
+  }
+  EXPECT_EQ(eng.advance(0, kEdgeUnits), 0);
+  EXPECT_TRUE(eng.route_ended(0));
+  EXPECT_EQ(eng.completed_traversals(0), 3u);
+}
+
+TEST(RunRendezvous, HugeBudgetGuardDoesNotWrap) {
+  // 16 * budget + 2^20 wraps to exactly 0 for this budget; the wrapped
+  // guard made run_rendezvous report budget_exhausted before the very
+  // first step. The saturating guard must let the run meet normally.
+  Graph g = make_edge();
+  sim::SimEngine eng(g, sim::MeetingPolicy::Halt);
+  eng.add_agent({scripted(g, 0, {0}), 0});
+  eng.add_agent({scripted(g, 1, {0}), 1});
+  auto adv = make_fair_adversary();
+  const std::uint64_t huge = (std::uint64_t{1} << 60) - (std::uint64_t{1} << 16);
+  const RendezvousResult r = sim::run_rendezvous(eng, *adv, huge);
+  EXPECT_TRUE(r.met);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
 }  // namespace
 }  // namespace asyncrv
