@@ -4,6 +4,8 @@
 // Usage:
 //   rv_cli [family] [n] [label_a] [label_b] [adversary] [seed]
 //          [--csv <path>] [--jsonl <path>] [--cache-dir <dir>]
+//   rv_cli search <graph-id> [objective] [optimizer] [evals] [seed]
+//          [--csv <path>] [--jsonl <path>] [--cache-dir <dir>]
 //
 //   family     ring | path | complete | star | grid | torus | tree |
 //              lollipop | petersen | hypercube          (default ring)
@@ -21,6 +23,17 @@
 // recording on) and executed by the experiment pipeline; the tool prints
 // the instance (including its DOT rendering) and the traced schedule
 // statistics.
+//
+// The `search` mode runs an optimizing worst-case adversary instead
+// (src/search/, DESIGN.md §6): <graph-id> is any registry id ("petersen",
+// "ring:12", "rreg:10,3@7"), objective is rv-cost | esst-phase |
+// pi-margin (default rv-cost), optimizer is random | hill | anneal
+// (default hill). Agents start at node 0 and the BFS-farthest node from
+// it (adjacent starts would make every schedule meet instantly). The
+// tool prints the worst schedule found (its genome, replayable), re-runs
+// it to demonstrate the bit-identical replay, and reports any soundness
+// violations loudly. Searches cache like any other scenario: re-running
+// with --cache-dir is instant.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -28,6 +41,7 @@
 #include "graph/io.h"
 #include "runner/cli.h"
 #include "runner/registry.h"
+#include "search/objective.h"
 
 namespace {
 
@@ -45,6 +59,124 @@ std::string family_graph_id(const std::string& family, Node n) {
   return family + ":" + std::to_string(n);
 }
 
+/// The node farthest from node 0 (smallest id among ties, by BFS): the
+/// least degenerate default placement — adjacent starts (a ring's 0 and
+/// n-1) cap every schedule at a near-instant meeting and make the search
+/// pointless.
+Node farthest_from_zero(const Graph& g) {
+  std::vector<int> dist(g.size(), -1);
+  std::vector<Node> queue = {0};
+  dist[0] = 0;
+  Node best = g.size() - 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node v = queue[head];
+    if (dist[v] > dist[best] || (dist[v] == dist[best] && v < best)) best = v;
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const Node to = g.step(v, p).to;
+      if (dist[to] < 0) {
+        dist[to] = dist[v] + 1;
+        queue.push_back(to);
+      }
+    }
+  }
+  return best;
+}
+
+/// The `search` mode: optimize an adversarial schedule, print and replay
+/// the winner. Returns the process exit code.
+int run_search_mode(runner::PipelineCli& cli,
+                    const std::vector<std::string>& args) {
+  if (args.size() > 6) {
+    std::cerr << "usage: rv_cli search <graph-id> [objective] [optimizer] "
+                 "[evals] [seed] "
+              << runner::PipelineCli::flags_help() << "\n";
+    return 1;
+  }
+  runner::SearchSpec se;
+  se.graph = args.size() > 1 ? args[1] : "petersen";
+  se.objective = args.size() > 2 ? args[2] : "rv-cost";
+  se.optimizer = args.size() > 3 ? args[3] : "hill";
+  if (args.size() > 4) {
+    // Signed parse + range check: stoull would wrap "-1" into 1.8e19
+    // evaluations and hang the process.
+    const long long evals = std::stoll(args[4]);
+    if (evals < 1 || evals > 100'000'000) {
+      std::cerr << "error: evals must be in [1, 100000000], got " << args[4]
+                << "\n";
+      return 1;
+    }
+    se.evaluations = static_cast<std::uint64_t>(evals);
+  } else {
+    se.evaluations = 240;
+  }
+  if (args.size() > 5) {
+    if (args[5].empty() ||
+        args[5].find_first_not_of("0123456789") != std::string::npos) {
+      std::cerr << "error: seed must be a non-negative integer, got "
+                << args[5] << "\n";
+      return 1;
+    }
+    se.seed = std::stoull(args[5]);
+  }
+  se.labels = {5, 12};
+  se.budget = se.objective == "esst-phase" ? 25'000 : 40'000;
+
+  const Graph g = runner::make_graph(se.graph);
+  se.starts = {0, farthest_from_zero(g)};
+  const runner::ExperimentSpec spec{.name = "", .scenario = se};
+
+  std::cout << "searching: " << se.graph << " (" << g.summary() << "), "
+            << se.objective << " via " << se.optimizer << ", "
+            << se.evaluations << " evaluations (seed " << se.seed << ")\n";
+  std::cout << "fingerprint: " << spec.fingerprint().hex() << "\n";
+
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(cli.options()).run({spec});
+  const runner::ExperimentOutcome& out = report.outcomes.front();
+  if (out.status == runner::RunStatus::Error) {
+    std::cerr << "error: " << out.error << "\n";
+    return 1;
+  }
+  const runner::SearchOutcome& so = *out.search();
+  if (cli.has_cache() && report.cache_hits > 0) {
+    std::cout << "(outcome served from cache: " << cli.cache()->entry_path(spec)
+              << ")\n";
+  }
+  std::cout << "best score " << so.best_score << " (cost " << so.best_cost
+            << ", met " << (so.best_met ? "yes" : "no");
+  if (se.objective == "esst-phase") std::cout << ", phase " << so.best_phase;
+  std::cout << ") after " << so.evaluations << " evaluations, "
+            << so.improvements << " improvements\n";
+  if (so.bound > 0) std::cout << "soundness bound: " << so.bound << "\n";
+  if (se.objective == "pi-margin" && se.budget <= so.bound / 2) {
+    std::cout << "(budget " << se.budget
+              << " caps evaluations below pi_hat/2 — measuring slack; "
+                 "violations are out of reach at this budget)\n";
+  }
+  if (so.violations > 0) {
+    std::cout << "*** " << so.violations
+              << " SOUNDNESS VIOLATION(S) FOUND — see DESIGN.md §6\n";
+  }
+  std::cout << "worst schedule genome: " << so.best_genome << "\n";
+
+  // Replay the persisted genome from scratch: same spec + same genome =
+  // the same run, bit for bit.
+  const auto genome = search::ScheduleGenome::from_text(so.best_genome);
+  if (!genome) {
+    std::cerr << "error: winning genome failed to parse: " << so.best_genome
+              << "\n";
+    return 1;
+  }
+  const TrajKit kit(runner::make_ppoly(se.ppoly), se.kit_seed);
+  const search::Evaluation replay =
+      search::evaluate(runner::search_problem(se, g, kit), *genome, nullptr);
+  std::cout << "replay: score " << replay.score << ", cost " << replay.cost
+            << (replay.score == so.best_score && replay.cost == so.best_cost
+                    ? " — bit-identical to the search's winner\n"
+                    : " — MISMATCH (engine determinism bug!)\n");
+  return replay.score == so.best_score ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +184,7 @@ int main(int argc, char** argv) {
   try {
     runner::PipelineCli cli;
     const std::vector<std::string> args = cli.parse(argc, argv);
+    if (!args.empty() && args[0] == "search") return run_search_mode(cli, args);
     if (args.size() > 6) {
       std::cerr << "usage: rv_cli [family] [n] [label_a] [label_b] "
                    "[adversary] [seed] "

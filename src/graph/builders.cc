@@ -1,5 +1,7 @@
 #include "graph/builders.h"
 
+#include <set>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -173,5 +175,45 @@ Graph make_ring_with_chord(Node n) {
 }
 
 Graph make_edge() { return Graph::from_edges(2, {{0, 1}}); }
+
+Graph make_random_regular(Node n, int d, std::uint64_t seed) {
+  ASYNCRV_CHECK(n >= 3 && d >= 2 && static_cast<Node>(d) < n);
+  ASYNCRV_CHECK_MSG((static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(d)) % 2 == 0,
+                    "random regular graph needs n*d even");
+  const std::size_t stubs_n = static_cast<std::size_t>(n) * static_cast<std::size_t>(d);
+  std::vector<Node> stubs(stubs_n);
+  // The pairing (configuration) model: every node contributes d stubs, a
+  // uniformly random perfect matching of the stubs proposes the edges, and
+  // proposals with self-loops, parallel edges or a disconnected result are
+  // resampled. For d >= 2 and non-degenerate n the acceptance probability
+  // is bounded away from zero, so the attempt bound is generous.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Rng rng(splitmix64(seed ^ 0x2e5ULL) + static_cast<std::uint64_t>(attempt));
+    for (std::size_t i = 0; i < stubs_n; ++i) {
+      stubs[i] = static_cast<Node>(i / static_cast<std::size_t>(d));
+    }
+    for (std::size_t i = stubs_n - 1; i > 0; --i) {
+      std::swap(stubs[i], stubs[rng.below(i + 1)]);
+    }
+    EdgeList e;
+    e.reserve(stubs_n / 2);
+    std::set<std::pair<Node, Node>> used;
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs_n && simple; i += 2) {
+      Node a = stubs[i], b = stubs[i + 1];
+      if (a == b) { simple = false; break; }
+      if (a > b) std::swap(a, b);
+      simple = used.emplace(a, b).second;
+      e.emplace_back(a, b);
+    }
+    if (!simple) continue;
+    try {
+      return Graph::from_edges(n, e);
+    } catch (const std::logic_error&) {
+      continue;  // disconnected pairing — resample
+    }
+  }
+  throw std::logic_error("make_random_regular: no simple connected pairing found");
+}
 
 }  // namespace asyncrv

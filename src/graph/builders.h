@@ -62,4 +62,11 @@ Graph make_ring_with_chord(Node n);
 /// the paper's discussion of the adversary.
 Graph make_edge();
 
+/// Seeded random d-regular graph on n nodes (pairing model, resampled
+/// until simple and connected). Requires 2 <= d < n and n*d even; throws
+/// std::logic_error when no simple connected pairing is found within the
+/// attempt bound (practically only for adversarially tight parameters).
+/// Deterministic for a given (n, d, seed).
+Graph make_random_regular(Node n, int d, std::uint64_t seed);
+
 }  // namespace asyncrv

@@ -211,6 +211,38 @@ std::optional<SglOutcome> decode_sgl(const ExperimentSpec& spec, Reader& in) {
   return res;
 }
 
+std::optional<SearchOutcome> decode_search(Reader& in) {
+  SearchOutcome res;
+  const auto genome = in.field("best_genome");
+  if (!genome) return std::nullopt;
+  const auto unescaped = percent_unescape(*genome);
+  if (!unescaped) return std::nullopt;
+  res.best_genome = *unescaped;
+  const auto score = in.u64("best_score");
+  const auto cost = in.u64("best_cost");
+  const auto phase = in.u64("best_phase");
+  const auto met = in.flag("best_met");
+  const auto bound = in.u64("bound");
+  const auto violations = in.u64("violations");
+  const auto best_violation = in.flag("best_violation");
+  const auto evaluations = in.u64("evaluations");
+  const auto improvements = in.u64("improvements");
+  if (!score || !cost || !phase || !met || !bound || !violations ||
+      !best_violation || !evaluations || !improvements) {
+    return std::nullopt;
+  }
+  res.best_score = *score;
+  res.best_cost = *cost;
+  res.best_phase = *phase;
+  res.best_met = *met;
+  res.bound = *bound;
+  res.violations = *violations;
+  res.best_violation = *best_violation;
+  res.evaluations = *evaluations;
+  res.improvements = *improvements;
+  return res;
+}
+
 }  // namespace
 
 std::string encode_outcome(const ExperimentSpec& spec,
@@ -265,6 +297,18 @@ std::string encode_outcome(const ExperimentSpec& spec,
       }
       os << '\n';
     }
+  } else if (const SearchOutcome* se = outcome.search()) {
+    os << "kind=search\n";
+    os << "best_genome=" << percent_escape(se->best_genome) << '\n';
+    os << "best_score=" << se->best_score << '\n';
+    os << "best_cost=" << se->best_cost << '\n';
+    os << "best_phase=" << se->best_phase << '\n';
+    os << "best_met=" << (se->best_met ? 1 : 0) << '\n';
+    os << "bound=" << se->bound << '\n';
+    os << "violations=" << se->violations << '\n';
+    os << "best_violation=" << (se->best_violation ? 1 : 0) << '\n';
+    os << "evaluations=" << se->evaluations << '\n';
+    os << "improvements=" << se->improvements << '\n';
   } else {
     os << "kind=none\n";
   }
@@ -320,6 +364,10 @@ std::optional<ExperimentOutcome> decode_outcome(const ExperimentSpec& spec,
       out.result = std::move(*res);
     } else if (*kind == "sgl") {
       auto res = decode_sgl(spec, in);
+      if (!res) return std::nullopt;
+      out.result = std::move(*res);
+    } else if (*kind == "search") {
+      auto res = decode_search(in);
       if (!res) return std::nullopt;
       out.result = std::move(*res);
     } else if (*kind != "none") {

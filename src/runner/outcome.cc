@@ -5,6 +5,7 @@
 #include "runner/registry.h"
 #include "rv/baseline.h"
 #include "rv/rv_route.h"
+#include "search/optimizer.h"
 #include "traj/traj.h"
 
 namespace asyncrv::runner {
@@ -79,6 +80,48 @@ void run_sgl(const SglSpec& spec, ExperimentOutcome& out,
   out.result = std::move(res);
 }
 
+void run_search(const SearchSpec& spec, ExperimentOutcome& out,
+                sim::EngineScratch* scratch) {
+  const auto optimizer = search::make_optimizer(spec.optimizer);
+  if (!optimizer) {
+    throw std::logic_error("unknown search optimizer: " + spec.optimizer);
+  }
+  if (spec.evaluations == 0) {
+    throw std::logic_error("search needs evaluations >= 1");
+  }
+  if (spec.genome_len == 0 || spec.genome_len > 256) {
+    throw std::logic_error("search genome_len must be in [1, 256]");
+  }
+  const Graph g = make_graph(spec.graph);
+  const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
+  const search::Problem problem = search_problem(spec, g, kit);
+
+  search::SearchParams params;
+  params.evaluations = spec.evaluations;
+  params.genome_len = static_cast<std::size_t>(spec.genome_len);
+  params.seed = spec.seed;
+  const search::SearchResult res = optimizer->run(
+      [&problem, scratch](const search::ScheduleGenome& genome) {
+        return search::evaluate(problem, genome, scratch);
+      },
+      params);
+
+  SearchOutcome so;
+  so.best_genome = res.best.to_text();
+  so.best_score = res.best_eval.score;
+  so.best_cost = res.best_eval.cost;
+  so.best_phase = res.best_eval.phase;
+  so.best_met = res.best_eval.met;
+  so.bound = res.best_eval.bound;
+  so.violations = res.violations;
+  so.best_violation = res.best_eval.violation;
+  so.evaluations = res.evaluations;
+  so.improvements = res.improvements;
+  out.status = RunStatus::Ok;  // the search itself completed
+  out.cost = so.best_cost;
+  out.result = std::move(so);
+}
+
 }  // namespace
 
 std::string ExperimentOutcome::status_label() const {
@@ -87,6 +130,24 @@ std::string ExperimentOutcome::status_label() const {
   if (const SglOutcome* s = sgl(); s && s->run.stuck) return "stuck";
   if (budget_exhausted) return "budget";
   return "no-meet";
+}
+
+search::Problem search_problem(const SearchSpec& spec, const Graph& g,
+                               const TrajKit& kit) {
+  const auto objective = search::parse_objective(spec.objective);
+  if (!objective) {
+    throw std::logic_error("unknown search objective: " + spec.objective);
+  }
+  search::Problem problem;
+  problem.graph = &g;
+  problem.kit = &kit;
+  problem.objective = *objective;
+  problem.labels =
+      spec.labels.empty() ? std::vector<std::uint64_t>{5, 12} : spec.labels;
+  problem.starts =
+      spec.starts.empty() ? std::vector<Node>{0, g.size() - 1} : spec.starts;
+  problem.budget = spec.budget;
+  return problem;
 }
 
 std::vector<SglAgentSpec> effective_sgl_team(const SglSpec& spec) {
@@ -119,6 +180,8 @@ ExperimentOutcome run_experiment(const ExperimentSpec& spec,
   try {
     if (const RendezvousSpec* rv = spec.rendezvous()) {
       run_rendezvous(*rv, out, scratch);
+    } else if (const SearchSpec* se = spec.search()) {
+      run_search(*se, out, scratch);
     } else {
       run_sgl(*spec.sgl(), out, scratch);
     }

@@ -13,6 +13,7 @@
 #include <variant>
 
 #include "runner/spec.h"
+#include "search/objective.h"
 #include "sgl/apps.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
@@ -37,6 +38,26 @@ struct SglOutcome {
   SglApplications apps;  ///< derived when the run completed
 };
 
+/// Result payload of an adversarial schedule search (src/search/). The
+/// winning genome is carried in its serialized text form so the whole
+/// record round-trips exactly through the sweep cache and the schedule
+/// can be replayed bit-identically later (search::ScheduleGenome).
+struct SearchOutcome {
+  std::string best_genome;         ///< ScheduleGenome::to_text()
+  std::uint64_t best_score = 0;    ///< objective score of the winner
+  std::uint64_t best_cost = 0;     ///< charged traversals of the winning run
+  std::uint64_t best_phase = 0;    ///< ESST stopping phase (esst-phase)
+  bool best_met = false;           ///< winner met / completed
+  std::uint64_t bound = 0;         ///< pi_hat or 9n+3 bracket; 0 for rv-cost
+  /// Evaluations that breached the objective's soundness bound
+  /// (CalibratedPi half-margin, ESST bracket). Any nonzero value is a
+  /// calibration/theorem counterexample — report loudly, never average.
+  std::uint64_t violations = 0;
+  bool best_violation = false;     ///< the winner itself is a violation
+  std::uint64_t evaluations = 0;   ///< evaluations actually spent
+  std::uint64_t improvements = 0;  ///< strict best-score improvements
+};
+
 struct ExperimentOutcome {
   std::size_t index = 0;  ///< position within the submitted batch
   RunStatus status = RunStatus::Unresolved;
@@ -49,13 +70,17 @@ struct ExperimentOutcome {
   /// count) keep this false and are cached like any outcome.
   bool transient_error = false;
 
-  std::variant<std::monostate, RendezvousOutcome, SglOutcome> result;
+  std::variant<std::monostate, RendezvousOutcome, SglOutcome, SearchOutcome>
+      result;
 
   bool ok() const { return status == RunStatus::Ok; }
   const RendezvousOutcome* rendezvous() const {
     return std::get_if<RendezvousOutcome>(&result);
   }
   const SglOutcome* sgl() const { return std::get_if<SglOutcome>(&result); }
+  const SearchOutcome* search() const {
+    return std::get_if<SearchOutcome>(&result);
+  }
 
   /// "ok" | "budget" | "no-meet" | "stuck" | "error" — the status column of
   /// every report row.
@@ -72,6 +97,16 @@ ExperimentOutcome run_experiment(const ExperimentSpec& spec);
 /// outcome is identical either way.
 ExperimentOutcome run_experiment(const ExperimentSpec& spec,
                                  sim::EngineScratch* scratch);
+
+/// The search::Problem a SearchSpec actually evaluates: objective parsed,
+/// labels defaulted to {5, 12} and starts to {0, n-1} when empty — the
+/// single definition of that translation, shared by the executor, by
+/// rv_cli's replay and by tests (a private copy that drifted would make
+/// bit-identical replays silently impossible). `g` and `kit` are
+/// caller-owned and must outlive the returned problem. Throws
+/// std::logic_error on an unknown objective.
+search::Problem search_problem(const SearchSpec& spec, const Graph& g,
+                               const TrajKit& kit);
 
 /// The team an SglSpec actually runs: `team` verbatim when non-empty, else
 /// one awake agent per label (start = starts[i] or node i, value

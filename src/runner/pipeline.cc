@@ -82,6 +82,17 @@ Row sweep_row(const ExperimentSpec& spec, const ExperimentOutcome& outcome) {
     seed = rv->seed;
     budget = rv->budget;
     agents = 2;
+  } else if (const SearchSpec* se = spec.search()) {
+    kind = "search";
+    graph = se->graph;
+    // The searched schedule IS the adversary of these rows; the objective
+    // rides in the algo column so group_by("adversary"/"algo") stay
+    // meaningful across mixed sweeps.
+    adversary = "search:" + se->optimizer;
+    algo = se->objective;
+    seed = se->seed;
+    budget = se->budget;
+    agents = 2;
   } else {
     const SglSpec& sgl = *spec.sgl();
     kind = "sgl";

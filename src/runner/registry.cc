@@ -107,11 +107,48 @@ Graph build_family(const std::string& id) {
 
 }  // namespace
 
+namespace {
+
+/// "rreg:<n>,<d>" with the id's "@<seed>" suffix as the *construction*
+/// seed (the instance is already randomized by it; a port shuffle on top
+/// would be redundant). Default seed 1 when the suffix is absent.
+Graph build_rreg(const std::string& base, std::uint64_t seed,
+                 const std::string& id) {
+  const auto parts = split(base, ':');
+  if (parts.size() != 2) {
+    throw std::logic_error("graph family 'rreg' takes 1 argument: '" + id + "'");
+  }
+  const std::size_t comma = parts[1].find(',');
+  if (comma == std::string::npos) {
+    throw std::logic_error("expected rreg:<n>,<d> in graph id '" + id + "'");
+  }
+  const std::uint64_t n = parse_u64(parts[1].substr(0, comma), id);
+  const std::uint64_t d = parse_u64(parts[1].substr(comma + 1), id);
+  if (n > kMaxNodes) {
+    throw std::logic_error("size argument " + std::to_string(n) +
+                           " exceeds the " + std::to_string(kMaxNodes) +
+                           "-node cap in graph id '" + id + "'");
+  }
+  if (n < 3 || d < 2 || d >= n || (n * d) % 2 != 0) {
+    throw std::logic_error(
+        "rreg needs 3 <= n, 2 <= d < n and n*d even: '" + id + "'");
+  }
+  return make_random_regular(static_cast<Node>(n), static_cast<int>(d), seed);
+}
+
+}  // namespace
+
 Graph make_graph(const std::string& id) {
   const std::size_t at = id.find('@');
+  const std::string base = at == std::string::npos ? id : id.substr(0, at);
+  if (base.rfind("rreg:", 0) == 0) {
+    return build_rreg(base, at == std::string::npos
+                                ? 1
+                                : parse_u64(id.substr(at + 1), id),
+                      id);
+  }
   if (at == std::string::npos) return build_family(id);
-  const Graph g = build_family(id.substr(0, at));
-  return g.shuffle_ports(parse_u64(id.substr(at + 1), id));
+  return build_family(base).shuffle_ports(parse_u64(id.substr(at + 1), id));
 }
 
 std::vector<std::string> small_catalog_ids() {

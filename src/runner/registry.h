@@ -34,7 +34,10 @@ namespace asyncrv::runner {
 ///   grid:<w>x<h> | torus:<w>x<h> | bipartite:<a>x<b>
 ///   tree:<n>:<seed> | random:<n>:<extra>:<seed>
 ///   lollipop:<n>:<k> | barbell:<k>:<bridge>
-/// An optional "@<seed>" suffix port-shuffles the instance.
+///   rreg:<n>,<d>        (seeded random d-regular graph on n nodes)
+/// An optional "@<seed>" suffix port-shuffles the instance — except for
+/// rreg, where it seeds the random-regular construction itself
+/// ("rreg:12,3@7"; default seed 1).
 Graph make_graph(const std::string& id);
 
 /// Graph ids reproducing the small catalog of graph/catalog.h, for sweeps.
@@ -53,7 +56,7 @@ std::unique_ptr<Adversary> make_adversary(const std::string& name,
 /// base + i (random50 -> base, random85 -> base+1, burst -> base+2,
 /// oscillating -> base+3, avoider -> base+4, phase -> base+5,
 /// skew -> base+6); unseeded strategies (fair, stall-*) return base
-/// unchanged. Sweeps that set `ScenarioSpec::seed = battery_seed(name,
+/// unchanged. Sweeps that set `RendezvousSpec::seed = battery_seed(name,
 /// base)` reproduce the pre-runner battery tables stream-for-stream.
 std::uint64_t battery_seed(const std::string& name, std::uint64_t base);
 

@@ -63,6 +63,21 @@ void canonicalize(std::ostream& os, const SglSpec& s) {
   }
 }
 
+void canonicalize(std::ostream& os, const SearchSpec& s) {
+  os << "kind=search\n";
+  os << "graph=" << percent_escape(s.graph) << '\n';
+  os << "objective=" << percent_escape(s.objective) << '\n';
+  os << "optimizer=" << percent_escape(s.optimizer) << '\n';
+  field_list(os, "labels", s.labels);
+  field_list(os, "starts", s.starts);
+  os << "budget=" << s.budget << '\n';
+  os << "evaluations=" << s.evaluations << '\n';
+  os << "genome_len=" << s.genome_len << '\n';
+  os << "seed=" << s.seed << '\n';
+  os << "ppoly=" << percent_escape(s.ppoly) << '\n';
+  os << "kit_seed=" << s.kit_seed << '\n';
+}
+
 }  // namespace
 
 std::string Fingerprint::hex() const {
@@ -95,6 +110,7 @@ Fingerprint fingerprint_bytes(const std::string& bytes) {
 
 std::vector<std::uint64_t> ExperimentSpec::labels() const {
   if (const RendezvousSpec* rv = rendezvous()) return rv->labels;
+  if (const SearchSpec* se = search()) return se->labels;
   const SglSpec& sgl = *this->sgl();
   if (!sgl.labels.empty() || sgl.team.empty()) return sgl.labels;
   std::vector<std::uint64_t> out;
@@ -109,6 +125,8 @@ std::string ExperimentSpec::display() const {
   if (const RendezvousSpec* rv = rendezvous()) {
     s = rv->graph + " " + rv->adversary;
     if (rv->algo == RouteAlgo::Baseline) s += " baseline";
+  } else if (const SearchSpec* se = search()) {
+    s = se->graph + " " + se->objective + "/" + se->optimizer;
   } else {
     s = sgl()->graph;
   }

@@ -30,7 +30,7 @@
 
 namespace asyncrv::runner {
 
-enum class ScenarioKind { Rendezvous, Sgl };
+enum class ScenarioKind { Rendezvous, Sgl, Search };
 
 /// Route family of a rendezvous scenario.
 enum class RouteAlgo {
@@ -93,7 +93,27 @@ struct SglSpec {
   bool robust_phase3 = true;
 };
 
-using SpecPayload = std::variant<RendezvousSpec, SglSpec>;
+/// An adversarial schedule search (src/search/, DESIGN.md §6): an
+/// optimizer spends `evaluations` simulated runs maximizing an objective
+/// over ScheduleGenomes on one graph, and the outcome carries the worst
+/// schedule found (serialized, replayable). Like every other scenario
+/// kind it is a pure function of the spec, so searches cache, sweep and
+/// sink exactly like single runs.
+struct SearchSpec {
+  std::string graph = "ring:6";        ///< builder id (runner/registry.h)
+  std::string objective = "rv-cost";   ///< rv-cost | esst-phase | pi-margin
+  std::string optimizer = "hill";      ///< random | hill | anneal
+  std::vector<std::uint64_t> labels;   ///< 2 agent labels; empty = {5, 12}
+  std::vector<Node> starts;            ///< empty = default {0, n-1}
+  std::uint64_t budget = 2'000'000;    ///< per-evaluation traversal budget
+  std::uint64_t evaluations = 200;     ///< optimizer evaluation budget
+  std::uint64_t genome_len = 16;       ///< fresh-genome gene count
+  std::uint64_t seed = 42;             ///< optimizer/genome PRNG seed
+  std::string ppoly = "tiny";          ///< exploration profile
+  std::uint64_t kit_seed = 0x5eed0001; ///< UXS seed of the TrajKit
+};
+
+using SpecPayload = std::variant<RendezvousSpec, SglSpec, SearchSpec>;
 
 /// One cell of a sweep: an optional display label plus the kind-typed
 /// scenario payload. Running it is a pure function of this value
@@ -104,14 +124,17 @@ struct ExperimentSpec {
   SpecPayload scenario = RendezvousSpec{};
 
   ScenarioKind kind() const {
-    return std::holds_alternative<RendezvousSpec>(scenario)
-               ? ScenarioKind::Rendezvous
-               : ScenarioKind::Sgl;
+    if (std::holds_alternative<RendezvousSpec>(scenario)) {
+      return ScenarioKind::Rendezvous;
+    }
+    return std::holds_alternative<SglSpec>(scenario) ? ScenarioKind::Sgl
+                                                     : ScenarioKind::Search;
   }
   const RendezvousSpec* rendezvous() const {
     return std::get_if<RendezvousSpec>(&scenario);
   }
   const SglSpec* sgl() const { return std::get_if<SglSpec>(&scenario); }
+  const SearchSpec* search() const { return std::get_if<SearchSpec>(&scenario); }
 
   /// The scenario's labels; for an explicit-team SGL spec with no label
   /// list, the team's labels in spec order. One definition shared by

@@ -1,0 +1,192 @@
+#include "search/genome.h"
+
+#include <charconv>
+
+#include "sim/engine.h"
+#include "sim/position.h"
+
+namespace asyncrv::search {
+
+namespace {
+
+/// Plays the gene program cyclically. The only mutable state is the
+/// program counter (gene index + repeats left), so the i-th decision is a
+/// pure function of (genome, i, engine state) — the replay guarantee.
+class GenomeAdversary final : public Adversary {
+ public:
+  explicit GenomeAdversary(ScheduleGenome genome)
+      : genome_(std::move(genome)) {}
+
+  AdvStep next(const sim::SimEngine& engine) override {
+    const Gene& g = genome_.genes[gene_];
+    if (++played_ >= g.repeat) {
+      played_ = 0;
+      if (++gene_ >= genome_.genes.size()) gene_ = 0;
+    }
+    const int n = engine.agent_count();
+    int agent = static_cast<int>(g.agent) % n;
+    if (engine.route_ended(agent)) agent = first_movable(engine, agent);
+    std::int64_t delta = g.delta;
+    // Backing out of a node is not a move the model allows; play the
+    // magnitude forward instead so the gene still spends its quantum.
+    if (delta < 0 && !engine.mid_edge(agent)) delta = -delta;
+    return {agent, delta};
+  }
+
+  std::string name() const override {
+    return "genome[" + std::to_string(genome_.genes.size()) + "]";
+  }
+
+ private:
+  ScheduleGenome genome_;
+  std::size_t gene_ = 0;
+  std::uint32_t played_ = 0;
+};
+
+bool valid_gene(const Gene& g) {
+  return g.delta != 0 && g.delta >= -kEdgeUnits && g.delta <= kEdgeUnits &&
+         g.repeat >= 1;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  std::int64_t v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return v;
+}
+
+/// A delta biased towards full-edge quanta, with a tail of slivers and
+/// backward drags — the regions where adversary schedules actually differ.
+std::int32_t random_delta(Rng& rng) {
+  const std::uint64_t shape = rng.below(8);
+  std::int64_t mag;
+  if (shape < 3) {
+    mag = kEdgeUnits;  // full edge
+  } else if (shape < 6) {
+    mag = static_cast<std::int64_t>(rng.between(1, kEdgeUnits));  // uniform
+  } else {
+    mag = static_cast<std::int64_t>(rng.between(1, kEdgeUnits / 64));  // sliver
+  }
+  const bool backward = rng.chance(1, 5);
+  return static_cast<std::int32_t>(backward ? -mag : mag);
+}
+
+/// Log-uniform repeat count: most genes fire once, but long phases (the
+/// shape behind stall/phase-style schedules, hundreds of exclusive
+/// traversals) are reachable in one mutation instead of hundreds.
+std::uint16_t random_repeat(Rng& rng) {
+  if (!rng.chance(2, 5)) return 1;
+  const std::uint64_t magnitude = rng.below(12);  // 2^0 .. 2^11
+  return static_cast<std::uint16_t>(
+      rng.between(std::uint64_t{1} << magnitude,
+                  (std::uint64_t{1} << magnitude) * 2 - 1));
+}
+
+Gene random_gene(Rng& rng) {
+  Gene g;
+  g.agent = static_cast<std::uint8_t>(rng.below(4));
+  g.delta = random_delta(rng);
+  g.repeat = random_repeat(rng);
+  return g;
+}
+
+}  // namespace
+
+std::string ScheduleGenome::to_text() const {
+  std::string out;
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(genes[i].agent) + ':' +
+           std::to_string(genes[i].delta) + ':' +
+           std::to_string(genes[i].repeat);
+  }
+  return out;
+}
+
+std::optional<ScheduleGenome> ScheduleGenome::from_text(
+    const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  ScheduleGenome genome;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string part = text.substr(start, comma - start);
+    const std::size_t c1 = part.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                   : part.find(':', c1 + 1);
+    if (c2 == std::string::npos || part.find(':', c2 + 1) != std::string::npos) {
+      return std::nullopt;
+    }
+    const auto agent = parse_int(part.substr(0, c1));
+    const auto delta = parse_int(part.substr(c1 + 1, c2 - c1 - 1));
+    const auto repeat = parse_int(part.substr(c2 + 1));
+    if (!agent || *agent < 0 || *agent > 255 || !delta || !repeat ||
+        *repeat < 1 || *repeat > 65535) {
+      return std::nullopt;
+    }
+    Gene g;
+    g.agent = static_cast<std::uint8_t>(*agent);
+    if (*delta < -kEdgeUnits || *delta > kEdgeUnits) return std::nullopt;
+    g.delta = static_cast<std::int32_t>(*delta);
+    g.repeat = static_cast<std::uint16_t>(*repeat);
+    if (!valid_gene(g)) return std::nullopt;
+    genome.genes.push_back(g);
+    start = comma + 1;
+    if (comma == text.size()) break;
+  }
+  if (genome.genes.empty()) return std::nullopt;
+  return genome;
+}
+
+std::unique_ptr<Adversary> decode(const ScheduleGenome& genome) {
+  ASYNCRV_CHECK_MSG(!genome.genes.empty(), "cannot decode an empty genome");
+  for (const Gene& g : genome.genes) {
+    ASYNCRV_CHECK_MSG(valid_gene(g), "invalid gene in genome");
+  }
+  return std::make_unique<GenomeAdversary>(genome);
+}
+
+ScheduleGenome random_genome(Rng& rng, std::size_t genes) {
+  ASYNCRV_CHECK(genes >= 1);
+  ScheduleGenome genome;
+  genome.genes.reserve(genes);
+  for (std::size_t i = 0; i < genes; ++i) genome.genes.push_back(random_gene(rng));
+  return genome;
+}
+
+void mutate(ScheduleGenome& genome, Rng& rng) {
+  const std::size_t n = genome.genes.size();
+  const std::uint64_t op = rng.below(8);
+  if (op == 0 && n < 256) {
+    // Insert a fresh gene at a random position.
+    const std::size_t at = rng.below(n + 1);
+    genome.genes.insert(genome.genes.begin() + static_cast<std::ptrdiff_t>(at),
+                        random_gene(rng));
+    return;
+  }
+  if (op == 1 && n > 1) {
+    const std::size_t at = rng.below(n);
+    genome.genes.erase(genome.genes.begin() + static_cast<std::ptrdiff_t>(at));
+    return;
+  }
+  if (op == 2 && n > 1) {
+    const std::size_t a = rng.below(n), b = rng.below(n);
+    std::swap(genome.genes[a], genome.genes[b]);
+    return;
+  }
+  // Point mutation of one field of one gene (the common case).
+  Gene& g = genome.genes[rng.below(n)];
+  const std::uint64_t field = rng.below(3);
+  if (field == 0) {
+    g.agent = static_cast<std::uint8_t>(rng.below(4));
+  } else if (field == 1) {
+    g.delta = random_delta(rng);
+  } else {
+    g.repeat = random_repeat(rng);
+  }
+}
+
+}  // namespace asyncrv::search

@@ -1,0 +1,81 @@
+// ScheduleGenome — a serializable, replayable adversary program.
+//
+// The paper's guarantees are universally quantified over the adversary, but
+// a hand-written battery (sim/adversary.h) samples only a few points of
+// that space. The search subsystem explores it instead: a genome is a
+// finite program of genes — (agent choice, signed micro-unit delta, repeat
+// count) — and decodes deterministically into a sim::Adversary that plays
+// the program cyclically forever. Because the decoder consults only the
+// engine's public deterministic state (route_ended, mid_edge), a genome
+// replays bit-identically through SimEngine: same genome + same spec =
+// same events, same meeting point, same cost, on either sweep path
+// (indexed or set_reference_scan). That property is what lets found
+// worst cases be persisted, cached and replayed as evidence
+// (DESIGN.md §6).
+//
+// Admissibility: every decoded schedule moves one agent at a time by a
+// bounded integer delta (backwards only within an edge) — exactly the
+// adversary model of DESIGN.md §1 — so any found schedule is a legal
+// adversary for the theorems, not an artifact of the encoding.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "util/prng.h"
+
+namespace asyncrv::search {
+
+/// One gene: "advance agent (`agent` mod N) by `delta` micro-units,
+/// `repeat` times". Invariants (enforced by from_text and preserved by
+/// random_genome/mutate): 0 < |delta| <= kEdgeUnits, repeat >= 1.
+struct Gene {
+  std::uint8_t agent = 0;
+  std::int32_t delta = 0;
+  std::uint16_t repeat = 1;
+
+  friend bool operator==(const Gene& a, const Gene& b) {
+    return a.agent == b.agent && a.delta == b.delta && a.repeat == b.repeat;
+  }
+};
+
+/// A finite adversary program; decoded cyclically, so any genome describes
+/// an infinite schedule. Never empty once validated.
+struct ScheduleGenome {
+  std::vector<Gene> genes;
+
+  /// "agent:delta:repeat,agent:delta:repeat,..." — the persisted form
+  /// (cache entries, reports, reproduction command lines).
+  std::string to_text() const;
+
+  /// Exact inverse of to_text; nullopt on any malformation or invariant
+  /// violation (empty program, zero/oversized delta, zero repeat).
+  static std::optional<ScheduleGenome> from_text(const std::string& text);
+
+  friend bool operator==(const ScheduleGenome& a, const ScheduleGenome& b) {
+    return a.genes == b.genes;
+  }
+};
+
+/// Decodes the genome into a live adversary. Deterministic and stateless
+/// beyond the program counter: the i-th decision depends only on the
+/// genome and the engine's current public state. The program loops forever;
+/// a gene addressed at a route-ended agent falls back to the first movable
+/// one (same helper the hand-written battery uses), and a backward delta
+/// at a node is played forward (backing out of a node is not a move).
+std::unique_ptr<Adversary> decode(const ScheduleGenome& genome);
+
+/// A uniformly random valid genome with `genes` genes (>= 1). Deltas are
+/// biased towards full-edge quanta — the region where schedules differ
+/// most — with a tail of slivers and backward drags.
+ScheduleGenome random_genome(Rng& rng, std::size_t genes);
+
+/// One gene-level mutation in place: point-change one field, insert,
+/// delete or swap genes. Preserves every genome invariant.
+void mutate(ScheduleGenome& genome, Rng& rng);
+
+}  // namespace asyncrv::search

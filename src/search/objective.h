@@ -1,0 +1,88 @@
+// Search objectives — what "worst case" means for a schedule.
+//
+// Each objective turns one genome into a deterministic scalar score by
+// running a full simulation under the decoded adversary (DESIGN.md §6):
+//
+//  * RvCost    — maximize the charged rendezvous cost of the two-agent
+//                RV-asynch-poly run (the worst-case the Π(n, m) theorem
+//                quantifies over);
+//  * EsstPhase — maximize the stopping phase t of Procedure ESST against
+//                an adversary-driven semi-stationary token (Theorem 2.1
+//                certifies n < t <= 9n+3; driving t towards the bracket's
+//                ceiling stress-tests the certificate);
+//  * PiMargin  — minimize the slack against the CalibratedPi half-margin
+//                (DESIGN.md §2.2): the run's budget IS pi_hat(n, m), and
+//                any evaluation where the agents fail to meet within half
+//                of it is a *violation* — a counterexample to the
+//                calibration that makes SGL's stopping rule sound, the
+//                bug this objective exists to find.
+//
+// Scores are unsigned integers (never doubles): optimizer acceptance
+// decisions stay bit-deterministic across platforms, and outcomes
+// round-trip exactly through the sweep cache.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/genome.h"
+#include "sim/engine.h"
+#include "traj/traj.h"
+
+namespace asyncrv::search {
+
+enum class Objective { RvCost, EsstPhase, PiMargin };
+
+/// "rv-cost" | "esst-phase" | "pi-margin"; nullopt on unknown names.
+std::optional<Objective> parse_objective(const std::string& name);
+std::string objective_name(Objective objective);
+std::vector<std::string> objective_names();
+
+/// One evaluation instance: the graph/kit are caller-owned and shared by
+/// every evaluation of a search (they are immutable), the rest mirrors the
+/// rendezvous scenario surface.
+struct Problem {
+  const Graph* graph = nullptr;
+  const TrajKit* kit = nullptr;
+  Objective objective = Objective::RvCost;
+  std::vector<std::uint64_t> labels;  ///< exactly 2 (rv/pi objectives)
+  std::vector<Node> starts;           ///< exactly 2; explorer+token for ESST
+  /// Per-evaluation traversal budget. PiMargin runs under
+  /// min(budget, pi_hat/2 + 1): the truncation point past which a
+  /// meeting-free run is already a margin violation — a budget below
+  /// pi_hat/2 measures slack cheaply but puts violations out of reach.
+  std::uint64_t budget = 2'000'000;
+};
+
+/// The deterministic result of running one genome against a problem.
+struct Evaluation {
+  std::uint64_t score = 0;  ///< higher = worse for the algorithm (the
+                            ///< optimizers always maximize)
+  std::uint64_t cost = 0;   ///< charged edge traversals of the run
+  std::uint64_t phase = 0;  ///< ESST stopping (or last attempted) phase
+  bool met = false;         ///< rendezvous occurred / ESST succeeded
+  /// The objective's soundness bound was breached: PiMargin — no meeting
+  /// within pi_hat or cost above pi_hat/2; EsstPhase — a successful phase
+  /// above the 9n+3 bracket. Always false for RvCost (its bound is the
+  /// thing being measured, not asserted).
+  bool violation = false;
+  std::uint64_t bound = 0;  ///< pi_hat(n, m) or 9n+3; 0 for RvCost
+};
+
+/// Runs one genome. Pure: depends only on (problem, genome). `scratch`
+/// may be null; searches pass one arena so thousands of evaluations reuse
+/// the engine's occupancy index instead of reallocating it per run.
+/// Throws std::logic_error on malformed problems (wrong label/start
+/// count, labels out of the objective's domain).
+Evaluation evaluate(const Problem& problem, const ScheduleGenome& genome,
+                    sim::EngineScratch* scratch);
+
+/// The calibrated-bound budget PiMargin runs under: pi_hat(n, m) with
+/// m = min label length — exactly the bound tests/rv_integration_test.cc
+/// certifies the half-margin against. Exposed for reports.
+std::uint64_t pi_margin_bound(const Graph& g, std::uint64_t label_a,
+                              std::uint64_t label_b);
+
+}  // namespace asyncrv::search

@@ -1,0 +1,154 @@
+#include "search/optimizer.h"
+
+#include <limits>
+
+namespace asyncrv::search {
+
+namespace {
+
+/// Shared bookkeeping: counts every evaluation, tracks violations and the
+/// best (genome, eval) pair. Ties keep the earlier genome, so results do
+/// not depend on exploration order beyond the seeded stream itself.
+class Tracker {
+ public:
+  explicit Tracker(const EvalFn& eval) : eval_(&eval) {}
+
+  const Evaluation& evaluate(const ScheduleGenome& genome) {
+    last_ = (*eval_)(genome);
+    ++result_.evaluations;
+    if (last_.violation) ++result_.violations;
+    if (result_.evaluations == 1 || last_.score > result_.best_eval.score) {
+      if (result_.evaluations > 1) ++result_.improvements;
+      result_.best_eval = last_;
+      result_.best = genome;
+    }
+    return last_;
+  }
+
+  std::uint64_t remaining(const SearchParams& p) const {
+    return p.evaluations > result_.evaluations
+               ? p.evaluations - result_.evaluations
+               : 0;
+  }
+
+  SearchResult take() { return std::move(result_); }
+
+ private:
+  const EvalFn* eval_;
+  Evaluation last_;
+  SearchResult result_;
+};
+
+std::size_t fresh_len(Rng& rng, const SearchParams& p) {
+  // Fresh genomes vary in length around the configured size: short
+  // programs loop tight periodic schedules, long ones express phases.
+  const std::uint64_t hi = p.genome_len >= 1 ? p.genome_len : 1;
+  return static_cast<std::size_t>(rng.between(1, hi));
+}
+
+class RandomSearch final : public Optimizer {
+ public:
+  std::string name() const override { return "random"; }
+
+  SearchResult run(const EvalFn& eval, const SearchParams& params) override {
+    Tracker tracker(eval);
+    Rng rng(params.seed ^ 0x5ea5c4a11dULL);
+    while (tracker.remaining(params) > 0) {
+      tracker.evaluate(random_genome(rng, fresh_len(rng, params)));
+    }
+    return tracker.take();
+  }
+};
+
+class HillClimb final : public Optimizer {
+ public:
+  std::string name() const override { return "hill"; }
+
+  SearchResult run(const EvalFn& eval, const SearchParams& params) override {
+    Tracker tracker(eval);
+    Rng rng(params.seed ^ 0x411c11b3ULL);
+    ScheduleGenome cur, backup;
+    std::uint64_t cur_score = 0;
+    std::uint64_t stalls = 0;
+    // Restart when a genome-length-proportional window brings no strict
+    // improvement; small genomes exhaust their neighborhoods quickly.
+    const auto stall_limit = [&] {
+      return 8 * static_cast<std::uint64_t>(cur.genes.size()) + 16;
+    };
+    bool have_cur = false;
+    while (tracker.remaining(params) > 0) {
+      if (!have_cur || stalls >= stall_limit()) {
+        cur = random_genome(rng, fresh_len(rng, params));
+        cur_score = tracker.evaluate(cur).score;
+        have_cur = true;
+        stalls = 0;
+        continue;
+      }
+      backup = cur;  // reuses backup's capacity after the first iteration
+      mutate(cur, rng);
+      const std::uint64_t score = tracker.evaluate(cur).score;
+      if (score >= cur_score) {
+        // Accept ties: plateau drift beats getting stuck, and the tracker
+        // only counts strict improvements.
+        stalls = score > cur_score ? 0 : stalls + 1;
+        cur_score = score;
+      } else {
+        std::swap(cur, backup);
+        ++stalls;
+      }
+    }
+    return tracker.take();
+  }
+};
+
+class Anneal final : public Optimizer {
+ public:
+  std::string name() const override { return "anneal"; }
+
+  SearchResult run(const EvalFn& eval, const SearchParams& params) override {
+    Tracker tracker(eval);
+    Rng rng(params.seed ^ 0xa22ea1ULL);
+    ScheduleGenome cur = random_genome(rng, fresh_len(rng, params));
+    std::uint64_t cur_score = tracker.evaluate(cur).score;
+    // Temperature starts at the first score (self-scaling to the
+    // objective's magnitude) and cools linearly with spent budget.
+    const std::uint64_t t0 = cur_score > 16 ? cur_score : 16;
+    ScheduleGenome backup;
+    while (tracker.remaining(params) > 0) {
+      const std::uint64_t temperature_num = tracker.remaining(params);
+      const std::uint64_t evals = params.evaluations ? params.evaluations : 1;
+      // Overflow-safe linear cooling: esst-phase scores reach ~1e13, so
+      // t0 * remaining can exceed 2^64 — divide first when it would wrap
+      // (the lost remainder is noise at that magnitude).
+      const std::uint64_t temperature =
+          t0 > std::numeric_limits<std::uint64_t>::max() / temperature_num
+              ? t0 / evals * temperature_num
+              : t0 * temperature_num / evals;
+      backup = cur;
+      mutate(cur, rng);
+      const std::uint64_t score = tracker.evaluate(cur).score;
+      const bool accept =
+          score >= cur_score ||
+          (cur_score - score <= temperature && rng.chance(1, 2));
+      if (accept) {
+        cur_score = score;
+      } else {
+        std::swap(cur, backup);
+      }
+    }
+    return tracker.take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomSearch>();
+  if (name == "hill") return std::make_unique<HillClimb>();
+  if (name == "anneal") return std::make_unique<Anneal>();
+  return nullptr;
+}
+
+std::vector<std::string> optimizer_names() { return {"random", "hill", "anneal"}; }
+
+}  // namespace asyncrv::search

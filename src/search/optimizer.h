@@ -1,0 +1,65 @@
+// Pluggable schedule-space optimizers.
+//
+// An optimizer spends a fixed evaluation budget maximizing an objective
+// score over ScheduleGenomes (search/objective.h) and reports the best
+// genome it saw plus search statistics. Three strategies share the one
+// interface:
+//
+//  * random — seeded random search, the baseline any smarter strategy
+//             must beat;
+//  * hill   — restart hill-climbing with gene-level mutations (accepts
+//             ties, so plateaus drift instead of trapping);
+//  * anneal — threshold annealing: a worse candidate is accepted while
+//             the (linearly cooling) temperature still exceeds its score
+//             loss. Deliberately integer-only — no exp(), no doubles —
+//             so acceptance decisions are bit-deterministic everywhere.
+//
+// Every strategy is a pure function of (eval, params): all randomness
+// flows from the seeded util/prng.h Rng, and candidate genomes are
+// mutated in place with an undo buffer, so the steady state of a search
+// allocates nothing beyond what evaluations themselves need (the
+// EngineScratch discipline of DESIGN.md §5 extends through the evaluator).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/genome.h"
+#include "search/objective.h"
+
+namespace asyncrv::search {
+
+struct SearchParams {
+  std::uint64_t evaluations = 200;  ///< total objective evaluations
+  std::size_t genome_len = 16;      ///< genes in fresh random genomes
+  std::uint64_t seed = 42;          ///< drives every random decision
+};
+
+struct SearchResult {
+  ScheduleGenome best;
+  Evaluation best_eval;
+  std::uint64_t evaluations = 0;   ///< evaluations actually spent
+  std::uint64_t improvements = 0;  ///< strict best-score improvements
+  std::uint64_t violations = 0;    ///< evaluations that flagged a violation
+};
+
+using EvalFn = std::function<Evaluation(const ScheduleGenome&)>;
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  /// Runs the search to the evaluation budget. Deterministic in
+  /// (eval, params); `eval` must itself be a pure function of the genome.
+  virtual SearchResult run(const EvalFn& eval, const SearchParams& params) = 0;
+};
+
+/// "random" | "hill" | "anneal"; nullptr on unknown names.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name);
+std::vector<std::string> optimizer_names();
+
+}  // namespace asyncrv::search

@@ -384,7 +384,8 @@ bool SimEngine::would_meet_within_edge(int idx, std::int64_t delta) const {
 }
 
 RendezvousResult run_rendezvous(SimEngine& engine, Adversary& adv,
-                                std::uint64_t max_total_traversals) {
+                                std::uint64_t max_total_traversals,
+                                std::uint64_t max_steps) {
   RendezvousResult res;
   // Guards against adversaries that stop making progress (e.g. endlessly
   // oscillating): the walk in each edge must eventually cover all of it.
@@ -392,10 +393,11 @@ RendezvousResult run_rendezvous(SimEngine& engine, Adversary& adv,
   // wrapped guard could spuriously exhaust a practically-unbounded run).
   constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
   constexpr std::uint64_t kSlack = std::uint64_t{1} << 20;
-  const std::uint64_t max_steps =
-      max_total_traversals > (kU64Max - kSlack) / 16
-          ? kU64Max
-          : 16 * max_total_traversals + kSlack;
+  if (max_steps == 0) {
+    max_steps = max_total_traversals > (kU64Max - kSlack) / 16
+                    ? kU64Max
+                    : 16 * max_total_traversals + kSlack;
+  }
   std::uint64_t steps = 0;
   while (!engine.met()) {
     if (engine.charged_traversals(0) + engine.charged_traversals(1) >=

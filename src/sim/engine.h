@@ -244,8 +244,15 @@ class SimEngine {
 /// agents 0 and 1 is exhausted — the run loop shared by TwoAgentSim and the
 /// scenario runner. (RendezvousResult reports agents 0 and 1; extra agents,
 /// if any, still participate in meeting detection.)
+///
+/// `max_steps` bounds the number of adversary decisions (anti-livelock:
+/// endless zero-progress oscillation must terminate as budget_exhausted);
+/// 0 keeps the historical generous guard of 16 * budget + 2^20. Callers
+/// that evaluate many adversarial schedules (search/) pass a tighter
+/// guard so sliver-spamming schedules fail fast.
 RendezvousResult run_rendezvous(SimEngine& engine, Adversary& adv,
-                                std::uint64_t max_total_traversals);
+                                std::uint64_t max_total_traversals,
+                                std::uint64_t max_steps = 0);
 
 }  // namespace sim
 }  // namespace asyncrv

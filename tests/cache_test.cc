@@ -110,6 +110,43 @@ TEST(CacheCodec, SglOutcomeRoundTripsWithDerivedApplications) {
   EXPECT_EQ(a.apps.gossip, b.apps.gossip);
 }
 
+TEST(CacheCodec, SearchOutcomeRoundTripsExactly) {
+  runner::SearchSpec se;
+  se.graph = "ring:6";
+  se.objective = "rv-cost";
+  se.optimizer = "random";
+  se.labels = {5, 12};
+  se.budget = 20'000;
+  se.evaluations = 25;
+  se.seed = 9;
+  const runner::ExperimentSpec spec{.name = "", .scenario = std::move(se)};
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  ASSERT_TRUE(out.ok()) << out.error;
+  ASSERT_NE(out.search(), nullptr);
+  ASSERT_FALSE(out.search()->best_genome.empty());
+
+  const std::string bytes = runner::encode_outcome(spec, out, 1);
+  const auto back = runner::decode_outcome(spec, bytes, 1);
+  ASSERT_TRUE(back.has_value());
+  const runner::SearchOutcome &a = *out.search(), &b = *back->search();
+  EXPECT_EQ(a.best_genome, b.best_genome);
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_phase, b.best_phase);
+  EXPECT_EQ(a.best_met, b.best_met);
+  EXPECT_EQ(a.bound, b.bound);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.best_violation, b.best_violation);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.improvements, b.improvements);
+  // Re-encoding reproduces the bytes: no silent encoder/decoder drift.
+  EXPECT_EQ(runner::encode_outcome(spec, *back, 1), bytes);
+  // A truncated entry is a miss, never a mangled outcome.
+  EXPECT_FALSE(
+      runner::decode_outcome(spec, bytes.substr(0, bytes.size() / 2), 1)
+          .has_value());
+}
+
 TEST(CacheCodec, ErrorOutcomeRoundTrips) {
   runner::ExperimentSpec spec = rv_spec();
   std::get<runner::RendezvousSpec>(spec.scenario).labels = {5};  // invalid

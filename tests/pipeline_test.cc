@@ -1,7 +1,6 @@
 // The experiment pipeline: thread-count invariance on the typed API, sink
-// emission, aggregate hygiene (errored scenarios never contribute cost —
-// the regression behind the legacy ScenarioReport double-counting fix),
-// and the legacy ScenarioRunner shim's equivalence.
+// emission, and aggregate hygiene (errored scenarios never contribute
+// cost — the regression behind the pre-pipeline double-counting fix).
 #include "runner/pipeline.h"
 
 #include <gtest/gtest.h>
@@ -9,7 +8,6 @@
 #include <set>
 
 #include "runner/registry.h"
-#include "runner/runner.h"
 
 namespace asyncrv {
 namespace {
@@ -90,52 +88,26 @@ TEST(Pipeline, ErroredScenariosAreExcludedFromCostAggregates) {
   EXPECT_EQ(report.totals.max_cost, clean.totals.max_cost);
 }
 
-TEST(Pipeline, LegacyShimMatchesTypedPipeline) {
-  // The deprecated ScenarioRunner delegates to the pipeline: same
-  // outcomes, same aggregates, and the legacy sweep builder produces the
-  // same cells as rendezvous_grid.
-  const auto legacy_specs = runner::rendezvous_sweep(
-      {"ring:4", "path:3"}, {"fair", "random50"}, {{5, 12}}, 1'000'000, 1);
-  const auto typed_specs = runner::rendezvous_grid(
-      {"ring:4", "path:3"}, {"fair", "random50"}, {{5, 12}}, 1'000'000, 1);
-  ASSERT_EQ(legacy_specs.size(), typed_specs.size());
-  for (std::size_t i = 0; i < legacy_specs.size(); ++i) {
-    EXPECT_EQ(to_experiment(legacy_specs[i]).fingerprint(),
-              typed_specs[i].fingerprint());
-  }
+TEST(Pipeline, AllScenariosErroredMeansZeroCostAggregates) {
+  // When every streamed callback throws, every scenario is errored: the
+  // aggregates must report zero cost even though each run measured one.
+  const auto specs = runner::rendezvous_grid({"ring:4"}, {"fair", "random50"},
+                                             {{5, 12}}, 1'000'000, 3);
+  const runner::PipelineReport clean = runner::ExperimentPipeline().run(specs);
+  ASSERT_EQ(clean.totals.errored, 0u);
+  ASSERT_GT(clean.totals.total_cost, 0u);
 
-  const runner::ScenarioReport legacy =
-      runner::ScenarioRunner().run(legacy_specs);
-  const runner::PipelineReport typed =
-      runner::ExperimentPipeline().run(typed_specs);
-  ASSERT_EQ(legacy.outcomes.size(), typed.outcomes.size());
-  for (std::size_t i = 0; i < legacy.outcomes.size(); ++i) {
-    EXPECT_EQ(legacy.outcomes[i].ok, typed.outcomes[i].ok());
-    EXPECT_EQ(legacy.outcomes[i].cost, typed.outcomes[i].cost);
-  }
-  EXPECT_EQ(legacy.total_cost, typed.totals.total_cost);
-  EXPECT_EQ(legacy.max_cost, typed.totals.max_cost);
-}
-
-TEST(Pipeline, LegacyReportExcludesErroredCosts) {
-  // Same regression, pinned on the legacy shim type (satellite fix): a
-  // callback-errored scenario keeps its error but loses its cost weight.
-  const auto specs = runner::rendezvous_sweep({"ring:4"}, {"fair", "random50"},
-                                              {{5, 12}}, 1'000'000, 3);
-  const runner::ScenarioReport clean = runner::ScenarioRunner().run(specs);
-  ASSERT_EQ(clean.errored, 0u);
-  ASSERT_GT(clean.total_cost, 0u);
-
-  runner::RunnerOptions opts;
+  runner::PipelineOptions opts;
   opts.threads = 1;
-  opts.on_outcome = [](const runner::ScenarioSpec&,
-                       const runner::ScenarioOutcome&) {
+  opts.on_outcome = [](const runner::ExperimentSpec&,
+                       const runner::ExperimentOutcome&) {
     throw std::runtime_error("boom");
   };
-  const runner::ScenarioReport report = runner::ScenarioRunner(opts).run(specs);
-  EXPECT_EQ(report.errored, 2u);
-  EXPECT_EQ(report.total_cost, 0u);  // every scenario errored => no cost
-  EXPECT_EQ(report.max_cost, 0u);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(opts).run(specs);
+  EXPECT_EQ(report.totals.errored, 2u);
+  EXPECT_EQ(report.totals.total_cost, 0u);
+  EXPECT_EQ(report.totals.max_cost, 0u);
   // The outcome itself still reports what the run measured.
   EXPECT_GT(report.outcomes[0].cost, 0u);
   EXPECT_NE(report.outcomes[0].error.find("on_outcome callback threw"),

@@ -1,13 +1,13 @@
-// The scenario runner: registry parsing, single-scenario execution, error
-// containment, streamed callbacks, and — the load-bearing property — that a
+// The runner's registry and single-experiment execution: graph/adversary id
+// parsing, error containment (bad specs become error outcomes, never
+// crashes), streamed callbacks, and — the load-bearing property — that a
 // multi-threaded sweep produces a report bit-identical to the
 // single-threaded one (per-scenario seeded PRNGs, no shared state).
-#include "runner/runner.h"
-
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "runner/pipeline.h"
 #include "runner/registry.h"
 
 namespace asyncrv {
@@ -46,6 +46,28 @@ TEST(Registry, ParsesEveryFamily) {
   EXPECT_THROW(runner::make_graph("grid:100000x100000"), std::logic_error);
 }
 
+TEST(Registry, SeededRandomRegular) {
+  // rreg:<n>,<d>@<seed> — the seed picks the instance, not a port shuffle.
+  const Graph g = runner::make_graph("rreg:12,3@7");
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.edge_count(), 18u);  // n*d/2
+  for (Node v = 0; v < g.size(); ++v) EXPECT_EQ(g.degree(v), 3) << v;
+  // Deterministic per seed; different seeds give different instances
+  // (compare via DOT-free structural probe: the neighbor multiset of some
+  // node eventually differs — cheap proxy: adjacency of node 0).
+  const Graph same = runner::make_graph("rreg:12,3@7");
+  for (Node v = 0; v < g.size(); ++v) {
+    for (int p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(g.step(v, p).to, same.step(v, p).to);
+    }
+  }
+  EXPECT_EQ(runner::make_graph("rreg:12,3").size(), 12u);  // default seed
+  EXPECT_THROW(runner::make_graph("rreg:12@1"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("rreg:12,5@1"), std::logic_error);  // odd n*d
+  EXPECT_THROW(runner::make_graph("rreg:6,1@1"), std::logic_error);   // d < 2
+  EXPECT_THROW(runner::make_graph("rreg:4,4@1"), std::logic_error);   // d >= n
+}
+
 TEST(Registry, CatalogIdsMatchCatalog) {
   // The id list reproduces graph/catalog.h's small battery node-for-node.
   const auto ids = runner::small_catalog_ids();
@@ -66,140 +88,112 @@ TEST(Registry, AdversaryNames) {
   EXPECT_THROW(runner::make_ppoly("huge"), std::logic_error);
 }
 
+runner::ExperimentSpec rv_spec(const std::string& graph,
+                               const std::string& adversary,
+                               std::uint64_t budget) {
+  runner::RendezvousSpec rv;
+  rv.graph = graph;
+  rv.adversary = adversary;
+  rv.labels = {5, 12};
+  rv.budget = budget;
+  return {.name = "", .scenario = std::move(rv)};
+}
+
 TEST(Registry, StallAgentOutOfRangeIsAnErrorOutcome) {
   // "stall:7:..." on a 2-agent scenario names a nonexistent agent; the
   // adversary rejects it at run time, surfaced as a contained error.
-  runner::ScenarioSpec spec;
-  spec.graph = "ring:4";
-  spec.adversary = "stall:7:2000";
-  spec.labels = {5, 12};
-  spec.budget = 100'000;
-  const runner::ScenarioOutcome out = runner::run_scenario(spec);
-  EXPECT_FALSE(out.ok);
+  const runner::ExperimentOutcome out =
+      runner::run_experiment(rv_spec("ring:4", "stall:7:2000", 100'000));
+  EXPECT_FALSE(out.ok());
   EXPECT_NE(out.error.find("stalled agent index out of range"),
             std::string::npos)
       << out.error;
 }
 
 TEST(Runner, SingleRendezvousScenario) {
-  runner::ScenarioSpec spec;
-  spec.graph = "ring:5";
-  spec.adversary = "fair";
-  spec.labels = {5, 12};
-  spec.budget = 2'000'000;
-  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  const runner::ExperimentOutcome out =
+      runner::run_experiment(rv_spec("ring:5", "fair", 2'000'000));
   EXPECT_TRUE(out.error.empty()) << out.error;
-  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.ok());
   EXPECT_GT(out.cost, 0u);
-  EXPECT_EQ(out.cost, out.rv.cost());
+  ASSERT_NE(out.rendezvous(), nullptr);
+  EXPECT_EQ(out.cost, out.rendezvous()->result.cost());
 }
 
 TEST(Runner, RecordsScheduleOnRequest) {
-  runner::ScenarioSpec spec;
-  spec.graph = "ring:5";
-  spec.adversary = "oscillating";
-  spec.labels = {5, 12};
-  spec.budget = 2'000'000;
-  spec.record_schedule = true;
-  const runner::ScenarioOutcome out = runner::run_scenario(spec);
-  ASSERT_TRUE(out.ok);
-  EXPECT_FALSE(out.schedule.steps.empty());
+  runner::ExperimentSpec spec = rv_spec("ring:5", "oscillating", 2'000'000);
+  std::get<runner::RendezvousSpec>(spec.scenario).record_schedule = true;
+  const runner::ExperimentOutcome out = runner::run_experiment(spec);
+  ASSERT_TRUE(out.ok());
+  ASSERT_NE(out.rendezvous(), nullptr);
+  EXPECT_FALSE(out.rendezvous()->schedule.steps.empty());
 }
 
 TEST(Runner, BadSpecsBecomeErrorOutcomesNotCrashes) {
-  runner::ScenarioSpec bad_graph;
-  bad_graph.graph = "gremlin:4";
-  bad_graph.labels = {1, 2};
-  runner::ScenarioSpec bad_labels;
-  bad_labels.graph = "ring:4";
-  bad_labels.labels = {1};  // rendezvous needs two
+  runner::ExperimentSpec bad_graph = rv_spec("gremlin:4", "fair", 100'000);
+  runner::ExperimentSpec bad_labels = rv_spec("ring:4", "fair", 100'000);
+  std::get<runner::RendezvousSpec>(bad_labels.scenario).labels = {1};
 
-  const runner::ScenarioReport report =
-      runner::ScenarioRunner().run({bad_graph, bad_labels});
-  EXPECT_EQ(report.errored, 2u);
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline().run({bad_graph, bad_labels});
+  EXPECT_EQ(report.totals.errored, 2u);
   EXPECT_FALSE(report.outcomes[0].error.empty());
   EXPECT_FALSE(report.outcomes[1].error.empty());
   EXPECT_NE(report.summary().find("2 errors"), std::string::npos);
 }
 
 TEST(Runner, SglScenarioCompletes) {
-  runner::ScenarioSpec spec;
-  spec.kind = runner::ScenarioKind::Sgl;
-  spec.graph = "ring:3";
-  spec.labels = {3, 7};
-  spec.budget = 60'000'000;
-  spec.seed = 5;
-  const runner::ScenarioOutcome out = runner::run_scenario(spec);
+  runner::SglSpec sgl;
+  sgl.graph = "ring:3";
+  sgl.labels = {3, 7};
+  sgl.budget = 60'000'000;
+  sgl.seed = 5;
+  const runner::ExperimentOutcome out =
+      runner::run_experiment({.name = "", .scenario = std::move(sgl)});
   EXPECT_TRUE(out.error.empty()) << out.error;
-  ASSERT_TRUE(out.ok);
-  EXPECT_EQ(out.sgl_apps.team_size.at(3), 2u);
-  EXPECT_EQ(out.sgl_apps.leader.at(7), 3u);
-}
-
-TEST(Runner, StreamedCallbackSeesEveryScenario) {
-  const auto specs = runner::rendezvous_sweep(
-      {"ring:4", "path:3"}, {"fair", "random50"}, {{5, 12}}, 1'000'000, 1);
-  ASSERT_EQ(specs.size(), 4u);
-  std::set<std::size_t> seen;
-  runner::RunnerOptions opts;
-  opts.threads = 2;
-  opts.on_outcome = [&](const runner::ScenarioSpec&,
-                        const runner::ScenarioOutcome& out) {
-    seen.insert(out.index);
-  };
-  const runner::ScenarioReport report =
-      runner::ScenarioRunner(opts).run(specs);
-  EXPECT_EQ(seen.size(), 4u);
-  EXPECT_EQ(report.scenarios, 4u);
-}
-
-TEST(Runner, ThrowingCallbackIsContained) {
-  const auto specs = runner::rendezvous_sweep({"ring:4"}, {"fair", "random50"},
-                                              {{5, 12}}, 1'000'000, 3);
-  runner::RunnerOptions opts;
-  opts.threads = 2;
-  opts.on_outcome = [](const runner::ScenarioSpec&,
-                       const runner::ScenarioOutcome&) {
-    throw std::runtime_error("progress pipe closed");
-  };
-  const runner::ScenarioReport report =
-      runner::ScenarioRunner(opts).run(specs);  // must not std::terminate
-  EXPECT_EQ(report.errored, 2u);
-  EXPECT_NE(report.outcomes[0].error.find("on_outcome callback threw"),
-            std::string::npos);
+  ASSERT_TRUE(out.ok());
+  ASSERT_NE(out.sgl(), nullptr);
+  EXPECT_EQ(out.sgl()->apps.team_size.at(3), 2u);
+  EXPECT_EQ(out.sgl()->apps.leader.at(7), 3u);
 }
 
 /// Field-by-field equality of two outcomes (rendezvous arm).
-void expect_identical(const runner::ScenarioOutcome& a,
-                      const runner::ScenarioOutcome& b,
+void expect_identical(const runner::ExperimentOutcome& a,
+                      const runner::ExperimentOutcome& b,
                       const std::string& ctx) {
   EXPECT_EQ(a.index, b.index) << ctx;
-  EXPECT_EQ(a.ok, b.ok) << ctx;
+  EXPECT_EQ(a.ok(), b.ok()) << ctx;
   EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << ctx;
   EXPECT_EQ(a.cost, b.cost) << ctx;
   EXPECT_EQ(a.error, b.error) << ctx;
-  EXPECT_EQ(a.rv.met, b.rv.met) << ctx;
-  EXPECT_EQ(a.rv.traversals_a, b.rv.traversals_a) << ctx;
-  EXPECT_EQ(a.rv.traversals_b, b.rv.traversals_b) << ctx;
-  EXPECT_TRUE(a.rv.meeting_point == b.rv.meeting_point) << ctx;
+  const runner::RendezvousOutcome* rva = a.rendezvous();
+  const runner::RendezvousOutcome* rvb = b.rendezvous();
+  ASSERT_EQ(rva == nullptr, rvb == nullptr) << ctx;
+  if (rva == nullptr) return;
+  EXPECT_EQ(rva->result.met, rvb->result.met) << ctx;
+  EXPECT_EQ(rva->result.traversals_a, rvb->result.traversals_a) << ctx;
+  EXPECT_EQ(rva->result.traversals_b, rvb->result.traversals_b) << ctx;
+  EXPECT_TRUE(rva->result.meeting_point == rvb->result.meeting_point) << ctx;
 }
 
 TEST(Runner, HundredScenarioSweepIsThreadCountInvariant) {
   // >= 100 scenarios: 5 cheap graphs x 10 adversaries x 2 label pairs.
-  const auto specs = runner::rendezvous_sweep(
+  const auto specs = runner::rendezvous_grid(
       {"edge", "path:3", "ring:3", "ring:4", "star:5"},
       adversary_battery_names(), {{1, 2}, {5, 12}},
       /*budget=*/400'000, /*seed=*/0xbeef);
   ASSERT_GE(specs.size(), 100u);
 
-  runner::RunnerOptions serial;
+  runner::PipelineOptions serial;
   serial.threads = 1;
-  const runner::ScenarioReport base = runner::ScenarioRunner(serial).run(specs);
+  const runner::PipelineReport base =
+      runner::ExperimentPipeline(serial).run(specs);
 
   for (int threads : {2, 4}) {
-    runner::RunnerOptions opts;
+    runner::PipelineOptions opts;
     opts.threads = threads;
-    const runner::ScenarioReport par = runner::ScenarioRunner(opts).run(specs);
+    const runner::PipelineReport par =
+        runner::ExperimentPipeline(opts).run(specs);
     ASSERT_EQ(par.outcomes.size(), base.outcomes.size());
     for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
       expect_identical(base.outcomes[i], par.outcomes[i],
@@ -207,13 +201,21 @@ TEST(Runner, HundredScenarioSweepIsThreadCountInvariant) {
     }
     // The whole aggregated report — including its rendering — is
     // bit-identical.
-    EXPECT_EQ(par.scenarios, base.scenarios);
-    EXPECT_EQ(par.succeeded, base.succeeded);
-    EXPECT_EQ(par.unresolved, base.unresolved);
-    EXPECT_EQ(par.errored, base.errored);
-    EXPECT_EQ(par.total_cost, base.total_cost);
-    EXPECT_EQ(par.max_cost, base.max_cost);
-    EXPECT_EQ(par.table(), base.table());
+    EXPECT_EQ(par.totals.scenarios, base.totals.scenarios);
+    EXPECT_EQ(par.totals.succeeded, base.totals.succeeded);
+    EXPECT_EQ(par.totals.unresolved, base.totals.unresolved);
+    EXPECT_EQ(par.totals.errored, base.totals.errored);
+    EXPECT_EQ(par.totals.total_cost, base.totals.total_cost);
+    EXPECT_EQ(par.totals.max_cost, base.totals.max_cost);
+    EXPECT_EQ(par.summary(), base.summary());
+    ASSERT_EQ(par.rows.size(), base.rows.size());
+    for (std::size_t i = 0; i < base.rows.size(); ++i) {
+      for (std::size_t c = 0; c < base.rows[i].size(); ++c) {
+        EXPECT_EQ(runner::render_value(par.rows[i][c]),
+                  runner::render_value(base.rows[i][c]))
+            << "row " << i << " @" << threads;
+      }
+    }
   }
 }
 

@@ -30,6 +30,20 @@ runner::ExperimentSpec sgl_spec() {
   return {.name = "", .scenario = std::move(sgl)};
 }
 
+runner::ExperimentSpec search_spec() {
+  runner::SearchSpec se;
+  se.graph = "ring:12";
+  se.objective = "rv-cost";
+  se.optimizer = "hill";
+  se.labels = {5, 12};
+  se.starts = {0, 6};
+  se.budget = 40'000;
+  se.evaluations = 240;
+  se.genome_len = 16;
+  se.seed = 7;
+  return {.name = "", .scenario = std::move(se)};
+}
+
 TEST(Fingerprint, HexRendering) {
   runner::Fingerprint fp;
   fp.hi = 0x0123456789abcdefULL;
@@ -119,6 +133,29 @@ TEST(Spec, EverySglFieldIsSemantic) {
   }));
 }
 
+TEST(Spec, EverySearchFieldIsSemantic) {
+  const runner::Fingerprint base = search_spec().fingerprint();
+  const auto differs = [&](auto mutate) {
+    runner::ExperimentSpec spec = search_spec();
+    mutate(std::get<runner::SearchSpec>(spec.scenario));
+    return spec.fingerprint() != base;
+  };
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.graph = "ring:13"; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.objective = "pi-margin"; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.optimizer = "anneal"; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.labels = {5, 13}; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.starts = {0, 5}; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.budget += 1; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.evaluations += 1; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.genome_len += 1; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.seed += 1; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.ppoly = "compact"; }));
+  EXPECT_TRUE(differs([](runner::SearchSpec& s) { s.kit_seed += 1; }));
+  // The three kinds can never collide: the canonical form leads with kind.
+  EXPECT_NE(search_spec().fingerprint(), rv_spec().fingerprint());
+  EXPECT_NE(search_spec().fingerprint(), sgl_spec().fingerprint());
+}
+
 TEST(Spec, TeamDetailsAreSemantic) {
   SglAgentSpec agent;
   agent.start = 1;
@@ -183,6 +220,10 @@ TEST(Spec, GoldenFingerprints) {
   rv.kit_seed = 0x5eed0002;
   rv.record_schedule = true;
   EXPECT_EQ(full.fingerprint().hex(), "3dad2545396e7b05ed1b8444a3af377c");
+  // The search kind's pin (placeholder recomputed once at introduction —
+  // stable from then on, same contract as the two above).
+  EXPECT_EQ(search_spec().fingerprint().hex(),
+            "4e934bfb4a1b8ec575a04ea7b5406962");
 }
 
 TEST(Spec, DisplayMatchesLegacyFormat) {
@@ -191,6 +232,7 @@ TEST(Spec, DisplayMatchesLegacyFormat) {
   named.name = "my cell";
   EXPECT_EQ(named.display(), "my cell");
   EXPECT_EQ(sgl_spec().display(), "ring:5 L3/L7");
+  EXPECT_EQ(search_spec().display(), "ring:12 rv-cost/hill L5/L12");
 }
 
 }  // namespace
