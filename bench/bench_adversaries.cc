@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
     std::cout << "cache: " << report.cache_hits << " hits, " << report.executed
               << " executed\n";
   }
+  std::cout << "graphs: " << report.graph_stats.builds << " built, "
+            << report.graph_stats.hits
+            << " interned hits (one construction per distinct topology)\n";
   std::cout << "\nMeetings under every schedule — the guarantee is schedule-"
                "independent, the cost is not.\n";
   return report.totals.errored == 0 ? 0 : 1;

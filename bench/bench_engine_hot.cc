@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "graph/builders.h"
+#include "runner/registry.h"
 #include "rv/rv_route.h"
 #include "sim/adversary.h"
 #include "sim/engine.h"
@@ -186,6 +187,46 @@ BenchResult bench_cont6(const std::string& graph_name, const Graph& g,
                 eng.total_traversals(), dt);
 }
 
+/// Large-graph lane 1: cold construction throughput of a registry id
+/// (parse, build, CSR fill, connectivity check) — the per-topology price a
+/// sweep pays exactly once now that the pipeline interns graphs.
+BenchResult bench_build(const std::string& id, std::uint64_t builds) {
+  std::size_t nodes = 0, bytes = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t b = 0; b < builds; ++b) {
+    const Graph g = runner::make_graph(id);
+    nodes = g.size();
+    bytes = g.memory_bytes();
+  }
+  const double dt = elapsed_seconds(t0);
+  std::printf("  built %s: n=%zu, %.1f MB CSR\n", id.c_str(), nodes,
+              static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return finish("build/" + id, builds, dt);
+}
+
+/// Large-graph lane 2: steady-state sweep cost at large N — 2 agents on
+/// endless random walks across the whole instance under a fair schedule.
+/// With CSR storage a traversal's graph work is two contiguous loads, so
+/// ns/item should stay flat from ring:64 to grid:512x512.
+BenchResult bench_walk2(const std::string& id, const Graph& g,
+                        std::uint64_t target_items) {
+  sim::SimEngine eng(g, sim::MeetingPolicy::Continue);
+  const Node mid = g.size() / 2;
+  eng.add_agent({random_walk(g, 0, 0xBEEF01), 0, true, sim::EndPolicy::Sticky});
+  eng.add_agent({random_walk(g, mid, 0xBEEF02), mid, true,
+                 sim::EndPolicy::Sticky});
+  auto adv = make_fair_adversary();
+  const auto t0 = Clock::now();
+  while (eng.total_traversals() < target_items) {
+    for (int burst = 0; burst < 64; ++burst) {
+      const AdvStep step = adv->next(eng);
+      eng.advance(step.agent, step.delta);
+    }
+  }
+  const double dt = elapsed_seconds(t0);
+  return finish("walk2/" + id + "/fair/indexed", eng.total_traversals(), dt);
+}
+
 std::string git_rev() {
   if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
   std::string rev = "unknown";
@@ -277,6 +318,18 @@ int main(int argc, char** argv) {
             bench_cont6(ng.name, ng.g, style, reference, route_items));
       }
     }
+  }
+
+  // Large-graph lanes (DESIGN.md §7): graph-build cost and steady-state
+  // sweep cost at large N. Indexed path only — the refscan twin's cost is
+  // agent-count-bound, not node-count-bound, so it adds nothing here.
+  std::puts("\nlarge-graph lanes:");
+  for (const std::string& id : runner::large_catalog_ids()) {
+    results.push_back(bench_build(id, quick ? 2 : 5));
+  }
+  for (const std::string& id : runner::large_catalog_ids()) {
+    const Graph g = runner::make_graph(id);
+    results.push_back(bench_walk2(id, g, route_items));
   }
 
   std::printf("%-34s %14s %12s %10s\n", "scenario", "items/sec", "ns/item",

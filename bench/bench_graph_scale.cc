@@ -1,0 +1,122 @@
+// Large-graph sweep smoke — the interning lifecycle at scale.
+//
+// Runs a rendezvous sweep of many scenarios over ONE large topology
+// (default grid:512x512, 262k nodes) through the ExperimentPipeline and
+// verifies the GraphCache contract end to end: however many scenarios and
+// worker threads, the topology is constructed exactly once and every other
+// scenario resolves an interned handle. Prints the cache counters and
+// exits non-zero when the identity
+//
+//   builds == distinct topologies (== 1 here)
+//   hits   == executed scenarios - builds
+//
+// does not hold — the line CI's large-graph-smoke job greps for. A small
+// per-scenario budget keeps each run quick (cells end budget-exhausted;
+// determinism, not meetings, is what this harness exercises), so the whole
+// sweep fits a tight wall-clock budget even at 262k nodes.
+//
+// Usage: bench_graph_scale [--graph <id>] [--scenarios <n>] [--quick]
+//        plus the shared sweep flags (--csv/--jsonl/--cache-dir/--threads).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/cli.h"
+#include "runner/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace asyncrv;
+  runner::PipelineCli cli;
+  std::string graph = "grid:512x512";
+  std::uint64_t scenarios = 60;
+  bool quick = false;
+  try {
+    const std::vector<std::string> rest = cli.parse(argc, argv);
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] == "--graph" && i + 1 < rest.size()) {
+        graph = rest[++i];
+      } else if (rest[i] == "--scenarios" && i + 1 < rest.size()) {
+        // Digits only: stoull would wrap "-3" into 1.8e19 scenarios and
+        // the spec loop would try to allocate them all.
+        const std::string& v = rest[++i];
+        if (v.empty() || v.size() > 6 ||
+            v.find_first_not_of("0123456789") != std::string::npos) {
+          std::cerr << "bench_graph_scale: --scenarios takes a count in "
+                       "[1, 999999], got '" << v << "'\n";
+          return 1;
+        }
+        scenarios = std::stoull(v);
+      } else if (rest[i] == "--quick") {
+        quick = true;
+      } else {
+        std::cerr << "usage: bench_graph_scale [--graph <id>] "
+                     "[--scenarios <n>] [--quick] "
+                  << runner::PipelineCli::flags_help() << "\n";
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_graph_scale: " << e.what() << "\n";
+    return 1;
+  }
+  if (quick) scenarios = scenarios < 12 ? scenarios : 12;
+  if (scenarios == 0) {
+    std::cerr << "bench_graph_scale: needs --scenarios >= 1\n";
+    return 1;
+  }
+
+  runner::banner("bench_graph_scale", "DESIGN.md §7",
+                 "one large topology, many scenarios, one construction");
+
+  // Same topology in every cell; the adversary and its seed vary, so every
+  // scenario is a distinct spec (distinct fingerprint) sharing one graph.
+  const std::vector<std::string> adversaries = {"fair", "random50", "stall-a",
+                                                "random85"};
+  std::vector<runner::ExperimentSpec> specs;
+  for (std::uint64_t i = 0; i < scenarios; ++i) {
+    runner::RendezvousSpec rv;
+    rv.graph = graph;
+    rv.adversary = adversaries[i % adversaries.size()];
+    rv.labels = {9, 14};
+    // Tiny budget: on a quarter-million-node instance the agents never
+    // meet; the cell ends budget-exhausted after exactly this many charged
+    // traversals, which is all the smoke needs.
+    rv.budget = 4'000;
+    rv.seed = 0x1a96e + i;
+    specs.push_back({.name = "", .scenario = std::move(rv)});
+  }
+
+  runner::GraphCache graphs;
+  runner::PipelineOptions options = cli.options();
+  options.graph_cache = &graphs;
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(options).run(std::move(specs));
+
+  const runner::GraphCache::Stats gs = report.graph_stats;
+  std::cout << report.summary() << "\n";
+  std::printf("graphs: %llu built, %llu interned hits, %.1f MB resident "
+              "(%llu executed scenarios on %s)\n",
+              static_cast<unsigned long long>(gs.builds),
+              static_cast<unsigned long long>(gs.hits),
+              static_cast<double>(gs.resident_bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(report.executed), graph.c_str());
+
+  if (report.totals.errored != 0) {
+    std::cerr << "FAIL: " << report.totals.errored << " scenarios errored\n";
+    return 1;
+  }
+  // The interning identity. Sweep-cache hits skip graph resolution
+  // entirely, so the counters are over executed scenarios only.
+  const std::uint64_t expect_builds = report.executed > 0 ? 1 : 0;
+  if (gs.lookups != report.executed || gs.builds != expect_builds ||
+      gs.hits != report.executed - expect_builds) {
+    std::cerr << "FAIL: interning identity broken (lookups "
+              << gs.lookups << ", builds " << gs.builds << ", hits "
+              << gs.hits << ", executed " << report.executed << ")\n";
+    return 1;
+  }
+  std::cout << "interning verified: one construction served "
+            << report.executed << " scenario(s)\n";
+  return 0;
+}

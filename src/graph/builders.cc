@@ -1,7 +1,9 @@
 #include "graph/builders.h"
 
+#include <limits>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,18 @@ namespace asyncrv {
 
 namespace {
 using EdgeList = std::vector<std::pair<Node, Node>>;
+
+/// w*h in 64-bit, rejected before it can wrap the 32-bit Node type — a
+/// make_grid(70000, 70000) must throw, not silently build the 605M-node
+/// graph its wrapped product happens to name.
+Node checked_area(Node w, Node h, const char* family) {
+  const std::uint64_t n64 =
+      static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h);
+  ASYNCRV_CHECK_MSG(n64 <= std::numeric_limits<Node>::max(),
+                    std::string(family) + " dimensions overflow the node type");
+  return static_cast<Node>(n64);
+}
+
 }  // namespace
 
 Graph make_ring(Node n) {
@@ -43,27 +57,31 @@ Graph make_star(Node n) {
 }
 
 Graph make_grid(Node w, Node h) {
-  ASYNCRV_CHECK(w >= 1 && h >= 1 && w * h >= 2);
+  const Node n = checked_area(w, h, "grid");
+  ASYNCRV_CHECK(w >= 1 && h >= 1 && n >= 2);
   EdgeList e;
+  e.reserve(2 * static_cast<std::size_t>(n));
   auto id = [w](Node x, Node y) { return y * w + x; };
   for (Node y = 0; y < h; ++y)
     for (Node x = 0; x < w; ++x) {
       if (x + 1 < w) e.emplace_back(id(x, y), id(x + 1, y));
       if (y + 1 < h) e.emplace_back(id(x, y), id(x, y + 1));
     }
-  return Graph::from_edges(w * h, e);
+  return Graph::from_edges(n, e);
 }
 
 Graph make_torus(Node w, Node h) {
+  const Node n = checked_area(w, h, "torus");
   ASYNCRV_CHECK(w >= 3 && h >= 3);
   EdgeList e;
+  e.reserve(2 * static_cast<std::size_t>(n));
   auto id = [w](Node x, Node y) { return y * w + x; };
   for (Node y = 0; y < h; ++y)
     for (Node x = 0; x < w; ++x) {
       e.emplace_back(id(x, y), id((x + 1) % w, y));
       e.emplace_back(id(x, y), id(x, (y + 1) % h));
     }
-  return Graph::from_edges(w * h, e);
+  return Graph::from_edges(n, e);
 }
 
 Graph make_hypercube(int d) {

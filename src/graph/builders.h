@@ -23,10 +23,12 @@ Graph make_complete(Node n);
 /// Star with one hub and n-1 >= 1 leaves.
 Graph make_star(Node n);
 
-/// w x h grid (4-neighborhood), w, h >= 1, w*h >= 2.
+/// w x h grid (4-neighborhood), w, h >= 1, w*h >= 2. The product is
+/// computed in 64-bit and rejected before it can wrap Node.
 Graph make_grid(Node w, Node h);
 
-/// w x h torus with wraparound; w, h >= 3.
+/// w x h torus with wraparound; w, h >= 3. Same 64-bit product guard as
+/// make_grid.
 Graph make_torus(Node w, Node h);
 
 /// Hypercube of dimension d >= 1 (2^d nodes).

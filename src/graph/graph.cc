@@ -1,8 +1,8 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
-#include <set>
 #include <sstream>
 
 #include "util/prng.h"
@@ -11,43 +11,72 @@ namespace asyncrv {
 
 Graph Graph::from_edges(Node n, const std::vector<std::pair<Node, Node>>& edges) {
   ASYNCRV_CHECK_MSG(n >= 1, "graph needs at least one node");
-  Graph g;
-  g.adj_.assign(n, {});
-  g.edge_ids_.assign(n, {});
+  // Edge ids are dense uint32 and offsets_ indexes 2m halves in uint32, so
+  // the edge count must leave both representable.
+  ASYNCRV_CHECK_MSG(
+      edges.size() <= (std::numeric_limits<std::uint32_t>::max)() / 2,
+      "edge count overflows the 32-bit edge-id space");
 
-  std::set<std::pair<Node, Node>> seen;
   for (auto [a, b] : edges) {
     ASYNCRV_CHECK_MSG(a < n && b < n, "edge endpoint out of range");
     ASYNCRV_CHECK_MSG(a != b, "self-loops are not allowed");
-    auto key = std::minmax(a, b);
-    ASYNCRV_CHECK_MSG(seen.insert(key).second, "duplicate edge");
+  }
+  {
+    // Duplicate detection on a sorted normalized copy: O(m log m) flat
+    // memory instead of a node-count-sized std::set of tree allocations.
+    std::vector<std::pair<Node, Node>> sorted(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      sorted[i] = std::minmax(edges[i].first, edges[i].second);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    ASYNCRV_CHECK_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate edge");
   }
 
+  Graph g;
+  g.n_ = n;
+  // Pass 1: degrees -> exclusive prefix sums.
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (auto [a, b] : edges) {
-    const auto pa = static_cast<Port>(g.adj_[a].size());
-    const auto pb = static_cast<Port>(g.adj_[b].size());
-    g.adj_[a].push_back(Half{b, pb});
-    g.adj_[b].push_back(Half{a, pa});
-    const auto eid = static_cast<std::uint32_t>(g.endpoints_.size());
-    g.edge_ids_[a].push_back(eid);
-    g.edge_ids_[b].push_back(eid);
-    g.endpoints_.push_back(std::minmax(a, b));
+    ++g.offsets_[a + 1];
+    ++g.offsets_[b + 1];
   }
-  g.edge_count_ = g.endpoints_.size();
+  for (Node v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
 
-  // Connectivity check (BFS).
+  // Pass 2: fill halves in edge-appearance order — the port at each
+  // endpoint is its running fill cursor, exactly the historical assignment
+  // rule (ports appear in the order edges mention the node).
+  g.halves_.resize(2 * edges.size());
+  g.edge_ids_.resize(2 * edges.size());
+  g.endpoints_.resize(edges.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [a, b] = edges[i];
+    const auto pa = static_cast<Port>(cursor[a] - g.offsets_[a]);
+    const auto pb = static_cast<Port>(cursor[b] - g.offsets_[b]);
+    const auto eid = static_cast<std::uint32_t>(i);
+    g.halves_[cursor[a]] = Half{b, pb};
+    g.edge_ids_[cursor[a]++] = eid;
+    g.halves_[cursor[b]] = Half{a, pa};
+    g.edge_ids_[cursor[b]++] = eid;
+    g.endpoints_[i] = std::minmax(a, b);
+  }
+
+  // Connectivity check (DFS over the flat arrays).
   std::vector<char> vis(n, 0);
   std::vector<Node> stack{0};
   vis[0] = 1;
   std::size_t reached = 1;
   while (!stack.empty()) {
-    Node v = stack.back();
+    const Node v = stack.back();
     stack.pop_back();
-    for (const Half& h : g.adj_[v]) {
-      if (!vis[h.to]) {
-        vis[h.to] = 1;
+    for (std::uint32_t h = g.offsets_[v]; h < g.offsets_[v + 1]; ++h) {
+      const Node to = g.halves_[h].to;
+      if (!vis[to]) {
+        vis[to] = 1;
         ++reached;
-        stack.push_back(h.to);
+        stack.push_back(to);
       }
     }
   }
@@ -58,44 +87,64 @@ Graph Graph::from_edges(Node n, const std::vector<std::pair<Node, Node>>& edges)
 Graph Graph::shuffle_ports(std::uint64_t seed) const {
   Rng rng(seed);
   const Node n = size();
-  // perm[v][old_port] = new_port at node v.
-  std::vector<std::vector<Port>> perm(n);
+  // Flat perm[offsets_[v] + old_port] = new_port at node v. The draw order
+  // (nodes ascending, Fisher-Yates from the top at each node) is pinned:
+  // it is what every historical "...@seed" instance and the golden engine
+  // battery were produced with.
+  std::vector<Port> perm(halves_.size());
   for (Node v = 0; v < n; ++v) {
+    const std::uint32_t off = offsets_[v];
     const int d = degree(v);
-    perm[v].resize(static_cast<std::size_t>(d));
-    std::iota(perm[v].begin(), perm[v].end(), 0);
+    for (int p = 0; p < d; ++p) perm[off + static_cast<std::uint32_t>(p)] = p;
     for (int i = d - 1; i > 0; --i) {
       const auto j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
-      std::swap(perm[v][static_cast<std::size_t>(i)], perm[v][static_cast<std::size_t>(j)]);
+      std::swap(perm[off + static_cast<std::uint32_t>(i)],
+                perm[off + static_cast<std::uint32_t>(j)]);
     }
   }
-  return remap_ports(perm);
+  return remap_flat(perm);
 }
 
 Graph Graph::remap_ports(const std::vector<std::vector<Port>>& perm) const {
   ASYNCRV_CHECK(perm.size() == size());
-  Graph g = *this;
   const Node n = size();
   for (Node v = 0; v < n; ++v) {
     ASYNCRV_CHECK_MSG(
         perm[v].size() == static_cast<std::size_t>(degree(v)),
         "permutation arity must match the node degree");
   }
+  std::vector<Port> flat(halves_.size());
   for (Node v = 0; v < n; ++v) {
-    const int d = degree(v);
-    std::vector<Half> new_adj(static_cast<std::size_t>(d));
-    std::vector<std::uint32_t> new_eids(static_cast<std::size_t>(d));
-    for (int p = 0; p < d; ++p) {
-      Half h = adj_[v][static_cast<std::size_t>(p)];
-      h.port_at_to = perm[h.to][static_cast<std::size_t>(h.port_at_to)];
-      new_adj[static_cast<std::size_t>(perm[v][static_cast<std::size_t>(p)])] = h;
-      new_eids[static_cast<std::size_t>(perm[v][static_cast<std::size_t>(p)])] =
-          edge_ids_[v][static_cast<std::size_t>(p)];
+    const std::uint32_t off = offsets_[v];
+    for (std::size_t p = 0; p < perm[v].size(); ++p) {
+      flat[off + static_cast<std::uint32_t>(p)] = perm[v][p];
     }
-    g.adj_[v] = std::move(new_adj);
-    g.edge_ids_[v] = std::move(new_eids);
+  }
+  return remap_flat(flat);
+}
+
+Graph Graph::remap_flat(const std::vector<Port>& perm) const {
+  Graph g = *this;  // shares n_, offsets_, endpoints_ layout
+  const Node n = size();
+  for (Node v = 0; v < n; ++v) {
+    const std::uint32_t off = offsets_[v];
+    const int d = degree(v);
+    for (int p = 0; p < d; ++p) {
+      Half h = halves_[off + static_cast<std::uint32_t>(p)];
+      h.port_at_to = perm[offsets_[h.to] + static_cast<std::uint32_t>(h.port_at_to)];
+      const auto np = static_cast<std::uint32_t>(perm[off + static_cast<std::uint32_t>(p)]);
+      g.halves_[off + np] = h;
+      g.edge_ids_[off + np] = edge_ids_[off + static_cast<std::uint32_t>(p)];
+    }
   }
   return g;
+}
+
+std::size_t Graph::memory_bytes() const {
+  return offsets_.capacity() * sizeof(std::uint32_t) +
+         halves_.capacity() * sizeof(Half) +
+         edge_ids_.capacity() * sizeof(std::uint32_t) +
+         endpoints_.capacity() * sizeof(std::pair<Node, Node>);
 }
 
 std::string Graph::summary() const {

@@ -7,9 +7,17 @@
 // Agents never see node identities; the integer node ids used here exist
 // only so the simulator can track positions. All algorithm code interacts
 // with the graph exclusively through degrees and ports (via traj::Walker).
+//
+// Storage is flat CSR (compressed sparse row, DESIGN.md §7): one
+// offsets_[n+1] array indexing into a single halves_ array of directed
+// half-edges and a parallel edge_ids_ array. degree/step/edge_id are two
+// contiguous loads with no per-node heap indirection, so million-node
+// instances stay cache-friendly and a graph's whole footprint is four flat
+// allocations (memory_bytes() reports it).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,19 +47,19 @@ class Graph {
   /// disconnected graphs (throws std::logic_error).
   static Graph from_edges(Node n, const std::vector<std::pair<Node, Node>>& edges);
 
-  Node size() const { return static_cast<Node>(adj_.size()); }
-  std::size_t edge_count() const { return edge_count_; }
+  Node size() const { return n_; }
+  std::size_t edge_count() const { return endpoints_.size(); }
 
   int degree(Node v) const {
     ASYNCRV_CHECK(v < size());
-    return static_cast<int>(adj_[v].size());
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
   }
 
   /// succ(v, i) together with the entry port on the far side.
   Half step(Node v, Port p) const {
     ASYNCRV_CHECK(v < size());
     ASYNCRV_CHECK_MSG(p >= 0 && p < degree(v), "port out of range");
-    return adj_[v][static_cast<std::size_t>(p)];
+    return halves_[offsets_[v] + static_cast<std::uint32_t>(p)];
   }
 
   /// Canonical undirected edge id for {v, step(v,p).to}; ids are dense in
@@ -60,12 +68,12 @@ class Graph {
   std::uint32_t edge_id(Node v, Port p) const {
     ASYNCRV_CHECK(v < size());
     ASYNCRV_CHECK(p >= 0 && p < degree(v));
-    return edge_ids_[v][static_cast<std::size_t>(p)];
+    return edge_ids_[offsets_[v] + static_cast<std::uint32_t>(p)];
   }
 
   /// Endpoints of a canonical edge id, with u < w.
   std::pair<Node, Node> edge_endpoints(std::uint32_t eid) const {
-    ASYNCRV_CHECK(eid < edge_count_);
+    ASYNCRV_CHECK(eid < edge_count());
     return endpoints_[eid];
   }
 
@@ -80,14 +88,30 @@ class Graph {
   /// enumeration (explore/uxs_search.h).
   Graph remap_ports(const std::vector<std::vector<Port>>& perm) const;
 
+  /// Heap bytes held by the four CSR arrays (capacity, not size — the
+  /// number a resident-set budget actually pays). The scenario regime a
+  /// sweep can afford is footprint-bound: ~20 bytes per half-edge plus
+  /// ~12 per node (DESIGN.md §7).
+  std::size_t memory_bytes() const;
+
   /// Human-readable summary ("n=8 m=12").
   std::string summary() const;
 
  private:
-  std::vector<std::vector<Half>> adj_;
-  std::vector<std::vector<std::uint32_t>> edge_ids_;
-  std::vector<std::pair<Node, Node>> endpoints_;
-  std::size_t edge_count_ = 0;
+  /// remap_ports over the flat layout: perm is indexed by
+  /// offsets_[v] + old_port and holds the new port at v.
+  Graph remap_flat(const std::vector<Port>& perm) const;
+
+  Node n_ = 0;
+  std::vector<std::uint32_t> offsets_;           ///< n_+1 prefix degrees
+  std::vector<Half> halves_;                     ///< 2m directed halves
+  std::vector<std::uint32_t> edge_ids_;          ///< 2m, parallel to halves_
+  std::vector<std::pair<Node, Node>> endpoints_; ///< m, eid -> {u < w}
 };
+
+/// Shared-ownership view of an immutable interned graph. The lifecycle
+/// currency of the runner's GraphCache (runner/graph_cache.h): workers hold
+/// handles, one construction per topology serves a whole sweep.
+using GraphHandle = std::shared_ptr<const Graph>;
 
 }  // namespace asyncrv

@@ -1,0 +1,75 @@
+#include "runner/graph_cache.h"
+
+#include "runner/registry.h"
+
+namespace asyncrv::runner {
+
+GraphHandle GraphCache::resolve(const std::string& id) {
+  while (true) {
+    std::shared_ptr<Entry> entry;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto& slot = entries_[id];
+      if (!slot) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+
+    // Build (or wait for the builder) outside the map lock: a slow
+    // construction of one topology must not serialize resolves of others.
+    const std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+    if (entry->graph) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.lookups;
+      ++stats_.hits;
+      return entry->graph;
+    }
+    {
+      // Unbuilt entry: either we created it just now, or we waited on a
+      // builder that failed and discarded it (or a concurrent clear()).
+      // Only the entry still registered in the map may be built into —
+      // anything else restarts the resolve so accounting stays exact.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(id);
+      if (it == entries_.end() || it->second != entry) continue;
+    }
+    try {
+      GraphHandle built = std::make_shared<const Graph>(make_graph(id));
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.lookups;
+      ++stats_.builds;
+      auto it = entries_.find(id);
+      if (it != entries_.end() && it->second == entry) {
+        // Still the registered entry: intern and account for residency.
+        entry->graph = std::move(built);
+        ++stats_.resident_graphs;
+        stats_.resident_bytes += entry->graph->memory_bytes();
+        return entry->graph;
+      }
+      // A concurrent clear() discarded the entry mid-build: hand this
+      // caller its instance without interning it (the resident counters
+      // must only cover what the map can still serve); entry->graph stays
+      // unset, so waiters re-resolve through the map.
+      return built;
+    } catch (...) {
+      // Never intern a failure: discard the entry so later resolves (and
+      // any threads that were waiting on this attempt) retry, and rethrow.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(id);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+      throw;
+    }
+  }
+}
+
+GraphCache::Stats GraphCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void GraphCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace asyncrv::runner

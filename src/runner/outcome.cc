@@ -12,6 +12,14 @@ namespace asyncrv::runner {
 
 namespace {
 
+/// The spec's graph: interned through the sweep-wide cache when one is
+/// threaded in, a fresh uncached build otherwise. The returned handle owns
+/// (or shares) the instance — callers keep it alive for the run's scope.
+GraphHandle resolve_graph(const std::string& id, GraphCache* graphs) {
+  if (graphs) return graphs->resolve(id);
+  return std::make_shared<const Graph>(make_graph(id));
+}
+
 RouteFn make_route(const Graph& g, const TrajKit& kit, const RendezvousSpec& spec,
                    Node start, std::uint64_t label) {
   if (spec.algo == RouteAlgo::Baseline) {
@@ -26,11 +34,12 @@ RouteFn make_route(const Graph& g, const TrajKit& kit, const RendezvousSpec& spe
 }
 
 void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out,
-                    sim::EngineScratch* scratch) {
+                    sim::EngineScratch* scratch, GraphCache* graphs) {
   if (spec.labels.size() != 2) {
     throw std::logic_error("rendezvous scenario needs exactly 2 labels");
   }
-  const Graph g = make_graph(spec.graph);
+  const GraphHandle gh = resolve_graph(spec.graph, graphs);
+  const Graph& g = *gh;
   // Each scenario owns its kit: LengthCalculus memoizes internally, so
   // sharing one across worker threads would race.
   const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
@@ -62,8 +71,9 @@ void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out,
 }
 
 void run_sgl(const SglSpec& spec, ExperimentOutcome& out,
-             sim::EngineScratch* scratch) {
-  const Graph g = make_graph(spec.graph);
+             sim::EngineScratch* scratch, GraphCache* graphs) {
+  const GraphHandle gh = resolve_graph(spec.graph, graphs);
+  const Graph& g = *gh;
   const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
   const std::vector<SglAgentSpec> team = effective_sgl_team(spec);
 
@@ -81,7 +91,7 @@ void run_sgl(const SglSpec& spec, ExperimentOutcome& out,
 }
 
 void run_search(const SearchSpec& spec, ExperimentOutcome& out,
-                sim::EngineScratch* scratch) {
+                sim::EngineScratch* scratch, GraphCache* graphs) {
   const auto optimizer = search::make_optimizer(spec.optimizer);
   if (!optimizer) {
     throw std::logic_error("unknown search optimizer: " + spec.optimizer);
@@ -92,7 +102,8 @@ void run_search(const SearchSpec& spec, ExperimentOutcome& out,
   if (spec.genome_len == 0 || spec.genome_len > 256) {
     throw std::logic_error("search genome_len must be in [1, 256]");
   }
-  const Graph g = make_graph(spec.graph);
+  const GraphHandle gh = resolve_graph(spec.graph, graphs);
+  const Graph& g = *gh;
   const TrajKit kit(make_ppoly(spec.ppoly), spec.kit_seed);
   const search::Problem problem = search_problem(spec, g, kit);
 
@@ -171,19 +182,25 @@ std::vector<SglAgentSpec> effective_sgl_team(const SglSpec& spec) {
 }
 
 ExperimentOutcome run_experiment(const ExperimentSpec& spec) {
-  return run_experiment(spec, nullptr);
+  return run_experiment(spec, nullptr, nullptr);
 }
 
 ExperimentOutcome run_experiment(const ExperimentSpec& spec,
                                  sim::EngineScratch* scratch) {
+  return run_experiment(spec, scratch, nullptr);
+}
+
+ExperimentOutcome run_experiment(const ExperimentSpec& spec,
+                                 sim::EngineScratch* scratch,
+                                 GraphCache* graphs) {
   ExperimentOutcome out;
   try {
     if (const RendezvousSpec* rv = spec.rendezvous()) {
-      run_rendezvous(*rv, out, scratch);
+      run_rendezvous(*rv, out, scratch, graphs);
     } else if (const SearchSpec* se = spec.search()) {
-      run_search(*se, out, scratch);
+      run_search(*se, out, scratch, graphs);
     } else {
-      run_sgl(*spec.sgl(), out, scratch);
+      run_sgl(*spec.sgl(), out, scratch, graphs);
     }
   } catch (const std::logic_error& e) {
     // Spec/invariant violations (registry parse errors, ASYNCRV_CHECK):

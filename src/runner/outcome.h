@@ -12,6 +12,7 @@
 #include <string>
 #include <variant>
 
+#include "runner/graph_cache.h"
 #include "runner/spec.h"
 #include "search/objective.h"
 #include "sgl/apps.h"
@@ -97,6 +98,17 @@ ExperimentOutcome run_experiment(const ExperimentSpec& spec);
 /// outcome is identical either way.
 ExperimentOutcome run_experiment(const ExperimentSpec& spec,
                                  sim::EngineScratch* scratch);
+
+/// Same, additionally resolving the spec's graph id through a shared
+/// interning GraphCache (runner/graph_cache.h) instead of constructing a
+/// fresh instance: a sweep over one topology builds it exactly once,
+/// whatever the scenario count or thread count. `graphs` may be null
+/// (falls back to an uncached make_graph build); the outcome is identical
+/// either way — Graph is immutable, so an interned instance is
+/// indistinguishable from a fresh one.
+ExperimentOutcome run_experiment(const ExperimentSpec& spec,
+                                 sim::EngineScratch* scratch,
+                                 GraphCache* graphs);
 
 /// The search::Problem a SearchSpec actually evaluates: objective parsed,
 /// labels defaulted to {5, 12} and starts to {0, n-1} when empty — the

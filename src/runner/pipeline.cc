@@ -222,6 +222,13 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
   if (n_threads == 0) n_threads = 1;
   if (n_threads > misses.size()) n_threads = static_cast<unsigned>(misses.size());
 
+  // One graph cache for the whole batch: every worker resolves topology
+  // ids through it, so each distinct graph is constructed exactly once
+  // however many scenarios share it (tests/graph_cache_test.cc).
+  GraphCache local_graphs;
+  GraphCache* graphs =
+      options_.graph_cache ? options_.graph_cache : &local_graphs;
+
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() {
     // One engine arena per worker: back-to-back scenarios on this thread
@@ -232,7 +239,7 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
       const std::size_t m = next.fetch_add(1);
       if (m >= misses.size()) return;
       const std::size_t i = misses[m];
-      ExperimentOutcome out = run_experiment(specs[i], &scratch);
+      ExperimentOutcome out = run_experiment(specs[i], &scratch, graphs);
       out.index = i;
       // Store before the callback (a throwing callback is an environmental
       // failure of THIS run) and never store transient errors — both would
@@ -253,6 +260,8 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
     for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+
+  report.graph_stats = graphs->stats();
 
   // Phase 3 — rows, aggregates and sinks, all in spec order: independent of
   // scheduling and of the hit/miss split, so the emitted bytes are

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "runner/cache.h"
+#include "runner/graph_cache.h"
 #include "runner/outcome.h"
 #include "runner/sink.h"
 #include "runner/spec.h"
@@ -64,6 +65,13 @@ struct PipelineReport {
   std::uint64_t cache_hits = 0;  ///< outcomes served from the sweep cache
   std::uint64_t executed = 0;    ///< outcomes actually simulated
 
+  /// Interning stats of the graph cache the run resolved topologies
+  /// through — a snapshot taken after the batch, so for a fresh cache
+  /// builds == distinct topologies among the executed scenarios and
+  /// hits == executions - builds. (With a caller-provided cache the
+  /// counters are cumulative across runs.)
+  GraphCache::Stats graph_stats;
+
   /// One-line "N scenarios: S ok, U unresolved, E errors, total cost C".
   std::string summary() const;
 
@@ -86,6 +94,11 @@ struct PipelineOptions {
   /// Optional persistent sweep cache (non-owning). Hits skip execution;
   /// misses are executed and stored back.
   const SweepCache* cache = nullptr;
+  /// Graph interning cache shared by every worker (non-owning). When null
+  /// the pipeline uses a run-local cache — either way each distinct
+  /// topology is constructed exactly once per batch. Pass one to share
+  /// interned instances (and accumulate stats) across runs.
+  GraphCache* graph_cache = nullptr;
   /// Streamed per-outcome callback, invoked as scenarios finish or are
   /// loaded from cache (serialized by the pipeline; arbitrary order). A
   /// throw is contained and marks the outcome errored — after the outcome

@@ -78,8 +78,21 @@ Graph build_family(const std::string& id) {
   if (family == "complete") { need(1); return make_complete(node_arg(0)); }
   if (family == "star") { need(1); return make_star(node_arg(0)); }
   if (family == "ringchord") { need(1); return make_ring_with_chord(node_arg(0)); }
-  if (family == "hypercube") { need(1); return make_hypercube(static_cast<int>(node_arg(0))); }
-  if (family == "bintree") { need(1); return make_binary_tree(static_cast<int>(node_arg(0))); }
+  // Exponent-argument families: the cap must bind the resulting node
+  // count (2^d / 2^(depth+1)-1 in 64-bit), not the exponent itself —
+  // node_arg on the exponent would pass "bintree:20" (2,097,151 nodes)
+  // straight through the documented 1M-node cap.
+  const auto exp_arg = [&](std::size_t i, const char* what) {
+    const std::uint64_t v = arg(i);
+    if (v >= 64 || (std::uint64_t{1} << (v + 1)) > kMaxNodes) {
+      throw std::logic_error(std::string(what) + " node count exceeds the " +
+                             std::to_string(kMaxNodes) + "-node cap in '" +
+                             id + "'");
+    }
+    return static_cast<int>(v);
+  };
+  if (family == "hypercube") { need(1); return make_hypercube(exp_arg(0, "hypercube")); }
+  if (family == "bintree") { need(1); return make_binary_tree(exp_arg(0, "bintree")); }
   if (family == "grid") {
     need(1);
     const auto [w, h] = node_dims(parts[1]);
@@ -157,6 +170,10 @@ std::vector<std::string> small_catalog_ids() {
           "complete:5",    "grid:2x3",     "tree:6:11",   "tree:8:12",
           "lollipop:6:3",  "bipartite:2x3", "ringchord:6", "random:7:3:21",
           "petersen"};
+}
+
+std::vector<std::string> large_catalog_ids() {
+  return {"grid:512x512", "torus:256x256", "rreg:100000,3@7"};
 }
 
 std::unique_ptr<Adversary> make_adversary(const std::string& name,

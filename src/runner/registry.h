@@ -38,10 +38,23 @@ namespace asyncrv::runner {
 /// An optional "@<seed>" suffix port-shuffles the instance — except for
 /// rreg, where it seeds the random-regular construction itself
 /// ("rreg:12,3@7"; default seed 1).
+///
+/// Sizes are capped at 1,000,000 nodes; the large-graph lanes of the
+/// tracked benchmarks use "grid:512x512" (262,144 nodes), "torus:256x256"
+/// (65,536 nodes) and "rreg:100000,3@7" (100,000 nodes) — roughly 20, 5
+/// and 7 MB of CSR arrays respectively (Graph::memory_bytes). This is an
+/// uncached constructor: it builds a fresh instance on every call. Sweeps
+/// resolve ids through a shared interning runner::GraphCache instead
+/// (runner/graph_cache.h) so each topology is built exactly once.
 Graph make_graph(const std::string& id);
 
 /// Graph ids reproducing the small catalog of graph/catalog.h, for sweeps.
 std::vector<std::string> small_catalog_ids();
+
+/// The large-graph ids of the tracked benchmark lanes and the CI
+/// large-graph smoke job — the scenario regime CSR storage + interning
+/// exist for (bench_engine_hot, bench_graph_scale).
+std::vector<std::string> large_catalog_ids();
 
 /// Builds an adversary from its name, seeding the seeded strategies with
 /// `seed`. Accepts the battery names ("fair", "random50", "random85",

@@ -1,0 +1,298 @@
+// CSR storage equivalence — the flat Graph against the historical
+// nested-vector implementation, kept here verbatim as a differential
+// oracle. The CSR refactor (DESIGN.md §7) must be observationally
+// invisible: identical degree/step/edge_id/edge_endpoints on every
+// (node, port), identical port assignment from from_edges' edge-appearance
+// rule, and identical shuffle_ports instances for equal seeds (the golden
+// engine battery and every "...@seed" registry id depend on that stream).
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/builders.h"
+#include "graph/catalog.h"
+#include "util/prng.h"
+
+namespace asyncrv {
+namespace {
+
+using EdgeList = std::vector<std::pair<Node, Node>>;
+
+// ---------------------------------------------------------------------------
+// The pre-CSR Graph, ported as-is: one heap vector per node, the same
+// validation, port-assignment, shuffle and remap algorithms (including the
+// exact Rng call order of shuffle_ports).
+// ---------------------------------------------------------------------------
+class OracleGraph {
+ public:
+  struct Half {
+    Node to = 0;
+    Port port_at_to = -1;
+  };
+
+  static OracleGraph from_edges(Node n, const EdgeList& edges) {
+    OracleGraph g;
+    g.adj_.assign(n, {});
+    g.edge_ids_.assign(n, {});
+    std::set<std::pair<Node, Node>> seen;
+    for (auto [a, b] : edges) {
+      EXPECT_TRUE(a < n && b < n && a != b);
+      EXPECT_TRUE(seen.insert(std::minmax(a, b)).second);
+    }
+    for (auto [a, b] : edges) {
+      const auto pa = static_cast<Port>(g.adj_[a].size());
+      const auto pb = static_cast<Port>(g.adj_[b].size());
+      g.adj_[a].push_back(Half{b, pb});
+      g.adj_[b].push_back(Half{a, pa});
+      const auto eid = static_cast<std::uint32_t>(g.endpoints_.size());
+      g.edge_ids_[a].push_back(eid);
+      g.edge_ids_[b].push_back(eid);
+      g.endpoints_.push_back(std::minmax(a, b));
+    }
+    return g;
+  }
+
+  Node size() const { return static_cast<Node>(adj_.size()); }
+  std::size_t edge_count() const { return endpoints_.size(); }
+  int degree(Node v) const { return static_cast<int>(adj_[v].size()); }
+  Half step(Node v, Port p) const { return adj_[v][static_cast<std::size_t>(p)]; }
+  std::uint32_t edge_id(Node v, Port p) const {
+    return edge_ids_[v][static_cast<std::size_t>(p)];
+  }
+  std::pair<Node, Node> edge_endpoints(std::uint32_t eid) const {
+    return endpoints_[eid];
+  }
+
+  OracleGraph shuffle_ports(std::uint64_t seed) const {
+    Rng rng(seed);
+    const Node n = size();
+    std::vector<std::vector<Port>> perm(n);
+    for (Node v = 0; v < n; ++v) {
+      const int d = degree(v);
+      perm[v].resize(static_cast<std::size_t>(d));
+      std::iota(perm[v].begin(), perm[v].end(), 0);
+      for (int i = d - 1; i > 0; --i) {
+        const auto j =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+        std::swap(perm[v][static_cast<std::size_t>(i)],
+                  perm[v][static_cast<std::size_t>(j)]);
+      }
+    }
+    return remap_ports(perm);
+  }
+
+  OracleGraph remap_ports(const std::vector<std::vector<Port>>& perm) const {
+    OracleGraph g = *this;
+    const Node n = size();
+    for (Node v = 0; v < n; ++v) {
+      const int d = degree(v);
+      std::vector<Half> new_adj(static_cast<std::size_t>(d));
+      std::vector<std::uint32_t> new_eids(static_cast<std::size_t>(d));
+      for (int p = 0; p < d; ++p) {
+        Half h = adj_[v][static_cast<std::size_t>(p)];
+        h.port_at_to = perm[h.to][static_cast<std::size_t>(h.port_at_to)];
+        new_adj[static_cast<std::size_t>(perm[v][static_cast<std::size_t>(p)])] = h;
+        new_eids[static_cast<std::size_t>(perm[v][static_cast<std::size_t>(p)])] =
+            edge_ids_[v][static_cast<std::size_t>(p)];
+      }
+      g.adj_[v] = std::move(new_adj);
+      g.edge_ids_[v] = std::move(new_eids);
+    }
+    return g;
+  }
+
+ private:
+  std::vector<std::vector<Half>> adj_;
+  std::vector<std::vector<std::uint32_t>> edge_ids_;
+  std::vector<std::pair<Node, Node>> endpoints_;
+};
+
+/// Full observational comparison over every (node, port) and edge id.
+void expect_same(const Graph& g, const OracleGraph& o, const std::string& what) {
+  ASSERT_EQ(g.size(), o.size()) << what;
+  ASSERT_EQ(g.edge_count(), o.edge_count()) << what;
+  for (Node v = 0; v < g.size(); ++v) {
+    ASSERT_EQ(g.degree(v), o.degree(v)) << what << " node " << v;
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const Graph::Half gh = g.step(v, p);
+      const OracleGraph::Half oh = o.step(v, p);
+      ASSERT_EQ(gh.to, oh.to) << what << " step(" << v << "," << p << ")";
+      ASSERT_EQ(gh.port_at_to, oh.port_at_to)
+          << what << " step(" << v << "," << p << ")";
+      ASSERT_EQ(g.edge_id(v, p), o.edge_id(v, p))
+          << what << " edge_id(" << v << "," << p << ")";
+    }
+  }
+  for (std::uint32_t eid = 0; eid < g.edge_count(); ++eid) {
+    ASSERT_EQ(g.edge_endpoints(eid), o.edge_endpoints(eid))
+        << what << " eid " << eid;
+  }
+}
+
+/// The original input edge list of a built graph: eids are assigned in
+/// edge-appearance order, so endpoints in eid order reproduce the list up
+/// to orientation — which from_edges' port assignment is insensitive to
+/// (each endpoint appends one port per incident edge, whichever side it
+/// appears on).
+EdgeList edge_list_of(const Graph& g) {
+  EdgeList e;
+  e.reserve(g.edge_count());
+  for (std::uint32_t eid = 0; eid < g.edge_count(); ++eid) {
+    e.push_back(g.edge_endpoints(eid));
+  }
+  return e;
+}
+
+/// Hand-rolled edge lists (independent of graph/builders.cc) so the
+/// differential is not circular for the basic families.
+EdgeList ring_edges(Node n) {
+  EdgeList e;
+  for (Node i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return e;
+}
+
+EdgeList complete_edges(Node n) {
+  EdgeList e;
+  for (Node i = 0; i < n; ++i)
+    for (Node j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return e;
+}
+
+EdgeList grid_edges(Node w, Node h) {
+  EdgeList e;
+  auto id = [w](Node x, Node y) { return y * w + x; };
+  for (Node y = 0; y < h; ++y)
+    for (Node x = 0; x < w; ++x) {
+      if (x + 1 < w) e.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < h) e.emplace_back(id(x, y), id(x, y + 1));
+    }
+  return e;
+}
+
+/// Random connected simple graph: a random tree plus distinct chords, all
+/// drawn from a test-local Rng (not the builders under test).
+EdgeList random_connected_edges(Node n, std::size_t extra, std::uint64_t seed) {
+  Rng rng(seed ^ 0xfeedULL);
+  EdgeList e;
+  std::set<std::pair<Node, Node>> used;
+  for (Node v = 1; v < n; ++v) {
+    const Node parent = static_cast<Node>(rng.below(v));
+    e.emplace_back(parent, v);
+    used.insert(std::minmax(parent, v));
+  }
+  for (std::size_t attempts = 0; extra > 0 && attempts < 64 * extra + 256;
+       ++attempts) {
+    const Node a = static_cast<Node>(rng.below(n));
+    const Node b = static_cast<Node>(rng.below(n));
+    if (a == b || !used.insert(std::minmax(a, b)).second) continue;
+    e.emplace_back(a, b);
+    --extra;
+  }
+  return e;
+}
+
+struct NamedEdges {
+  std::string name;
+  Node n;
+  EdgeList edges;
+};
+
+std::vector<NamedEdges> differential_battery() {
+  std::vector<NamedEdges> out;
+  out.push_back({"edge", 2, {{0, 1}}});
+  out.push_back({"ring7", 7, ring_edges(7)});
+  out.push_back({"complete6", 6, complete_edges(6)});
+  out.push_back({"grid4x5", 20, grid_edges(4, 5)});
+  out.push_back({"star6", 6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}});
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    const Node n = static_cast<Node>(5 + 7 * s);
+    out.push_back({"random" + std::to_string(s), n,
+                   random_connected_edges(n, 2 * s, s)});
+  }
+  return out;
+}
+
+TEST(GraphCsr, FromEdgesMatchesOracle) {
+  for (const NamedEdges& b : differential_battery()) {
+    SCOPED_TRACE(b.name);
+    const Graph g = Graph::from_edges(b.n, b.edges);
+    const OracleGraph o = OracleGraph::from_edges(b.n, b.edges);
+    expect_same(g, o, b.name);
+  }
+}
+
+TEST(GraphCsr, ShufflePortsMatchesOracleAcrossSeeds) {
+  for (const NamedEdges& b : differential_battery()) {
+    const Graph g = Graph::from_edges(b.n, b.edges);
+    const OracleGraph o = OracleGraph::from_edges(b.n, b.edges);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 77ULL, 0xDEADBEEFULL}) {
+      SCOPED_TRACE(b.name + " @" + std::to_string(seed));
+      expect_same(g.shuffle_ports(seed), o.shuffle_ports(seed),
+                  b.name + " shuffled");
+    }
+  }
+}
+
+TEST(GraphCsr, RemapPortsMatchesOracleOnRandomPermutations) {
+  for (const NamedEdges& b : differential_battery()) {
+    const Graph g = Graph::from_edges(b.n, b.edges);
+    const OracleGraph o = OracleGraph::from_edges(b.n, b.edges);
+    Rng rng(0x9e37 + b.n);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::vector<Port>> perm(g.size());
+      for (Node v = 0; v < g.size(); ++v) {
+        const int d = g.degree(v);
+        perm[v].resize(static_cast<std::size_t>(d));
+        std::iota(perm[v].begin(), perm[v].end(), 0);
+        for (int i = d - 1; i > 0; --i) {
+          const auto j =
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(i) + 1));
+          std::swap(perm[v][static_cast<std::size_t>(i)],
+                    perm[v][static_cast<std::size_t>(j)]);
+        }
+      }
+      SCOPED_TRACE(b.name + " round " + std::to_string(round));
+      expect_same(g.remap_ports(perm), o.remap_ports(perm), b.name + " remap");
+    }
+  }
+}
+
+TEST(GraphCsr, WholeCatalogMatchesOracleUnderShuffleSeeds) {
+  // Every catalog instance (built by the real builders) against an oracle
+  // fed its recovered edge-appearance list, plain and port-shuffled.
+  std::vector<NamedGraph> battery = small_catalog();
+  for (NamedGraph& m : medium_catalog()) battery.push_back(std::move(m));
+  for (const NamedGraph& ng : battery) {
+    SCOPED_TRACE(ng.name);
+    const OracleGraph o =
+        OracleGraph::from_edges(ng.graph.size(), edge_list_of(ng.graph));
+    expect_same(ng.graph, o, ng.name);
+    for (const std::uint64_t seed : {11ULL, 4242ULL}) {
+      expect_same(ng.graph.shuffle_ports(seed), o.shuffle_ports(seed),
+                  ng.name + " @" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(GraphCsr, MemoryBytesTracksSize) {
+  const Graph small = make_ring(8);
+  const Graph large = make_grid(64, 64);
+  EXPECT_GT(small.memory_bytes(), 0u);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+  // The CSR accounting floor: 2m halves + 2m edge ids + m endpoints +
+  // (n+1) offsets, at their respective element sizes.
+  const std::size_t m = large.edge_count();
+  const std::size_t floor = 2 * m * (sizeof(Graph::Half) + sizeof(std::uint32_t)) +
+                            m * sizeof(std::pair<Node, Node>) +
+                            (static_cast<std::size_t>(large.size()) + 1) *
+                                sizeof(std::uint32_t);
+  EXPECT_GE(large.memory_bytes(), floor);
+}
+
+}  // namespace
+}  // namespace asyncrv

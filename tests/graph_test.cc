@@ -163,5 +163,31 @@ TEST(Builders, RejectBadParameters) {
   EXPECT_THROW(make_lollipop(3, 2), std::logic_error);
 }
 
+TEST(Builders, GridTorusDimensionsRejectedBeforeNodeOverflow) {
+  // 70000 * 70000 = 4.9e9 wraps uint32 to ~605M — unchecked, that wrapped
+  // product would name a "valid" giant graph and start allocating for it.
+  // The area must be computed in 64-bit and rejected up front.
+  EXPECT_THROW(make_grid(70000, 70000), std::logic_error);
+  EXPECT_THROW(make_torus(70000, 70000), std::logic_error);
+  // 65536 * 65536 = 2^32 wraps to exactly 0.
+  EXPECT_THROW(make_grid(65536, 65536), std::logic_error);
+  EXPECT_THROW(make_torus(65536, 65536), std::logic_error);
+  // Extreme single dimensions wrap too (4e9 * 2 mod 2^32 is small).
+  EXPECT_THROW(make_grid(4'000'000'000u, 2), std::logic_error);
+  // In-range large dimensions still build.
+  EXPECT_EQ(make_grid(512, 512).size(), 262144u);
+  EXPECT_EQ(make_torus(256, 256).size(), 65536u);
+}
+
+TEST(Graph, MemoryBytesReported) {
+  const Graph g = make_torus(16, 16);
+  // 256 nodes, 512 edges, 1024 halves: the four flat arrays must be
+  // accounted (>= the element-size floor, no nested per-node heap blocks).
+  EXPECT_GE(g.memory_bytes(),
+            1024 * (sizeof(Graph::Half) + sizeof(std::uint32_t)) +
+                512 * sizeof(std::pair<Node, Node>) +
+                257 * sizeof(std::uint32_t));
+}
+
 }  // namespace
 }  // namespace asyncrv

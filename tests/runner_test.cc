@@ -44,6 +44,12 @@ TEST(Registry, ParsesEveryFamily) {
   // The per-dimension AND product caps for 2-d families ("grid:100000x
   // 100000" would otherwise wrap w*h inside the builder).
   EXPECT_THROW(runner::make_graph("grid:100000x100000"), std::logic_error);
+  // Exponent-argument families are capped on the RESULTING node count:
+  // bintree:20 is 2^21-1 = 2,097,151 nodes, over the 1M cap even though
+  // "20" itself is tiny (hypercube is additionally builder-capped at d=16).
+  EXPECT_THROW(runner::make_graph("bintree:20"), std::logic_error);
+  EXPECT_THROW(runner::make_graph("hypercube:40"), std::logic_error);
+  EXPECT_EQ(runner::make_graph("bintree:4").size(), 31u);
 }
 
 TEST(Registry, SeededRandomRegular) {
@@ -75,6 +81,19 @@ TEST(Registry, CatalogIdsMatchCatalog) {
   for (const std::string& id : ids) {
     EXPECT_GE(runner::make_graph(id).size(), 2u) << id;
   }
+}
+
+TEST(Registry, LargeCatalogIdsBuild) {
+  // The large-graph lanes (DESIGN.md §7): every id builds, at the size it
+  // names, under the registry's 1M-node cap and the builders' 64-bit
+  // dimension guards.
+  const auto ids = runner::large_catalog_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(runner::make_graph("grid:512x512").size(), 512u * 512u);
+  EXPECT_EQ(runner::make_graph("torus:256x256").size(), 256u * 256u);
+  const Graph rr = runner::make_graph("rreg:100000,3@7");
+  EXPECT_EQ(rr.size(), 100000u);
+  EXPECT_EQ(rr.edge_count(), 150000u);
 }
 
 TEST(Registry, AdversaryNames) {
