@@ -8,6 +8,12 @@
 // verbatim pre-index sweep with its per-sweep allocations), so the
 // before/after is measured by one binary in one process.
 //
+// The batched-sweep lane (DESIGN.md §8) measures the experiment pipeline
+// itself: a homogeneous >=1024-cell rendezvous sweep on one worker thread,
+// once scalar and once with PipelineOptions::batch, reported as
+// scenarios/sec (batch/ rows) and ns per charged agent step (batchstep/
+// rows) with the batched-vs-scalar speedup.
+//
 // --json <path> emits BENCH_engine.json (schema asyncrv.bench_engine.v1:
 // scenario, items, seconds, items_per_sec, ns_per_item, git rev), the
 // repo's tracked perf trajectory; CI's perf-smoke job uploads it per
@@ -16,12 +22,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/builders.h"
+#include "runner/pipeline.h"
 #include "runner/registry.h"
 #include "rv/rv_route.h"
 #include "sim/adversary.h"
@@ -227,6 +235,96 @@ BenchResult bench_walk2(const std::string& id, const Graph& g,
   return finish("walk2/" + id + "/fair/indexed", eng.total_traversals(), dt);
 }
 
+/// Batched-sweep lane (DESIGN.md §8): a homogeneous `cells`-cell
+/// rendezvous sweep pushed through the experiment pipeline on ONE worker
+/// thread, once scalar and once with PipelineOptions::batch — the
+/// before/after of the lockstep engine. Emits two row pairs per mode:
+/// batch/ counts scenarios (items/sec = scenarios/sec) and batchstep/
+/// counts charged traversals (ns/item = ns per charged agent step); the
+/// /batched rows report their speedup over the /scalar twins.
+void bench_batch_sweep(std::size_t cells, std::vector<BenchResult>* out) {
+  // grid:32x32 under the fair schedule with labels {9, 14} is budget-bound
+  // (no meeting within 10k traversals): every cell walks the full budget,
+  // so the lane measures sustained execution throughput — the regime where
+  // scalar route re-generation dominates and the shared RouteTable pays.
+  const std::string graph = "grid:32x32";
+  std::vector<runner::ExperimentSpec> specs;
+  specs.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    runner::RendezvousSpec rv;
+    rv.graph = graph;
+    rv.adversary = "fair";
+    rv.labels = {9, 14};
+    rv.budget = 10'000;
+    rv.seed = 0xE9 + i;
+    specs.push_back({.name = "", .scenario = std::move(rv)});
+  }
+  const std::string tag = graph + "/cells" + std::to_string(cells);
+  for (const bool batched : {false, true}) {
+    runner::PipelineOptions opts;
+    opts.threads = 1;
+    opts.batch = batched;
+    const auto t0 = Clock::now();
+    const runner::PipelineReport report =
+        runner::ExperimentPipeline(opts).run(specs);
+    const double dt = elapsed_seconds(t0);
+    const std::string mode = batched ? "/batched" : "/scalar";
+    out->push_back(finish("batch/" + tag + mode, cells, dt));
+    out->push_back(
+        finish("batchstep/" + tag + mode, report.totals.total_cost, dt));
+    if (report.totals.errored != 0 || (batched && report.batched != cells)) {
+      std::fprintf(stderr,
+                   "batch lane invariant broken: %llu errored, %llu of %zu "
+                   "cells batched\n",
+                   static_cast<unsigned long long>(report.totals.errored),
+                   static_cast<unsigned long long>(report.batched), cells);
+      std::exit(1);
+    }
+  }
+}
+
+/// Fast-lane suffix -> slow-twin suffix: a scenario ending in the first
+/// suffix prints its speedup against the same scenario ending in the
+/// second (the retained reference scan; the scalar pipeline).
+constexpr struct {
+  const char* fast;
+  const char* slow;
+} kTwinSuffixes[] = {
+    {"/indexed", "/refscan"},
+    {"/batched", "/scalar"},
+};
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// The per-lane summary shared by every lane (indexed/refscan engine
+/// twins, batched/scalar pipeline twins, unpaired lanes): items/sec,
+/// ns/item, and the fast-vs-slow speedup where the slow twin was
+/// measured. Returns false when the lane failed to make progress
+/// (items/sec must be > 0) so main can exit non-zero.
+bool print_result(const BenchResult& r, const std::vector<BenchResult>& all) {
+  double speedup = 0.0;
+  for (const auto& twin : kTwinSuffixes) {
+    if (!ends_with(r.scenario, twin.fast) || r.ns_per_item <= 0.0) continue;
+    const std::string slow =
+        r.scenario.substr(0, r.scenario.size() - std::strlen(twin.fast)) +
+        twin.slow;
+    for (const BenchResult& o : all) {
+      if (o.scenario == slow) speedup = o.ns_per_item / r.ns_per_item;
+    }
+  }
+  if (speedup > 0.0) {
+    std::printf("%-38s %14.0f %12.2f %9.2fx\n", r.scenario.c_str(),
+                r.items_per_sec, r.ns_per_item, speedup);
+  } else {
+    std::printf("%-38s %14.0f %12.2f %10s\n", r.scenario.c_str(),
+                r.items_per_sec, r.ns_per_item, "-");
+  }
+  return r.items_per_sec > 0.0;
+}
+
 std::string git_rev() {
   if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
   std::string rev = "unknown";
@@ -332,29 +430,16 @@ int main(int argc, char** argv) {
     results.push_back(bench_walk2(id, g, route_items));
   }
 
-  std::printf("%-34s %14s %12s %10s\n", "scenario", "items/sec", "ns/item",
+  // Batched-sweep lanes: >=1024 homogeneous cells in full runs, 128 in
+  // --quick (CI's perf-smoke still gates batched > scalar there).
+  std::puts("\nbatched-sweep lane:");
+  bench_batch_sweep(quick ? 128 : 1024, &results);
+
+  std::printf("%-38s %14s %12s %10s\n", "scenario", "items/sec", "ns/item",
               "speedup");
   bool ok = true;
   for (const BenchResult& r : results) {
-    if (!(r.items_per_sec > 0.0)) ok = false;
-    double speedup = 0.0;
-    if (r.scenario.size() > 8 &&
-        r.scenario.rfind("/indexed") == r.scenario.size() - 8) {
-      const std::string twin =
-          r.scenario.substr(0, r.scenario.size() - 8) + "/refscan";
-      for (const BenchResult& o : results) {
-        if (o.scenario == twin && r.ns_per_item > 0.0) {
-          speedup = o.ns_per_item / r.ns_per_item;
-        }
-      }
-    }
-    if (speedup > 0.0) {
-      std::printf("%-34s %14.0f %12.2f %9.2fx\n", r.scenario.c_str(),
-                  r.items_per_sec, r.ns_per_item, speedup);
-    } else {
-      std::printf("%-34s %14.0f %12.2f %10s\n", r.scenario.c_str(),
-                  r.items_per_sec, r.ns_per_item, "-");
-    }
+    if (!print_result(r, results)) ok = false;
   }
 
   const std::string rev = git_rev();

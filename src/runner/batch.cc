@@ -1,0 +1,193 @@
+#include "runner/batch.h"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "runner/registry.h"
+#include "sim/batch_engine.h"
+#include "sim/trace.h"
+#include "traj/traj.h"
+
+namespace asyncrv::runner {
+
+bool batchable(const ExperimentSpec& spec) {
+  return spec.rendezvous() != nullptr;
+}
+
+std::vector<SpecBatch> form_batches(const std::vector<ExperimentSpec>& specs,
+                                    const std::vector<std::size_t>& misses,
+                                    std::size_t batch_size,
+                                    std::vector<std::size_t>* scalar) {
+  if (batch_size == 0) batch_size = 1;
+  std::map<std::string, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> groups;  // first-appearance order
+  for (const std::size_t i : misses) {
+    const ExperimentSpec& spec = specs[i];
+    if (!batchable(spec)) {
+      scalar->push_back(i);
+      continue;
+    }
+    const RendezvousSpec& rv = *spec.rendezvous();
+    const std::string key =
+        rv.graph + '\n' + rv.ppoly + '\n' + std::to_string(rv.kit_seed);
+    const auto [it, fresh] = group_of.emplace(key, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  std::vector<SpecBatch> out;
+  for (const std::vector<std::size_t>& g : groups) {
+    for (std::size_t off = 0; off < g.size(); off += batch_size) {
+      SpecBatch b;
+      const std::size_t end = std::min(off + batch_size, g.size());
+      b.indices.assign(g.begin() + static_cast<std::ptrdiff_t>(off),
+                       g.begin() + static_cast<std::ptrdiff_t>(end));
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Scalar-path outcome mapping of one finished lane (cf. run_rendezvous in
+/// runner/outcome.cc) — status, budget flag, charged cost, result payload.
+void fill_outcome(std::size_t spec_index, const RendezvousResult& result,
+                  std::unique_ptr<Schedule> schedule,
+                  ExperimentOutcome& out) {
+  out = ExperimentOutcome{};
+  out.index = spec_index;
+  RendezvousOutcome res;
+  res.result = result;
+  if (schedule) res.schedule = std::move(*schedule);
+  out.status = result.met ? RunStatus::Ok : RunStatus::Unresolved;
+  out.budget_exhausted = result.budget_exhausted;
+  out.cost = result.cost();
+  out.result = std::move(res);
+}
+
+}  // namespace
+
+std::size_t run_spec_batch(const std::vector<ExperimentSpec>& specs,
+                           const SpecBatch& batch, sim::EngineScratch* scratch,
+                           GraphCache* graphs, ExperimentOutcome* outcomes) {
+  struct Lane {
+    std::size_t spec_index = 0;
+    std::unique_ptr<Adversary> adv;
+    std::unique_ptr<Schedule> schedule;  ///< set when record_schedule
+  };
+
+  const auto run_scalar = [&](std::size_t i) {
+    outcomes[i] = run_experiment(specs[i], scratch, graphs);
+    outcomes[i].index = i;
+  };
+
+  // Batch-shared context: the interned graph and ONE TrajKit for the whole
+  // batch (the group key guarantees every cell agrees on ppoly/kit_seed;
+  // kit memoization is value-neutral, so shared-kit routes are identical
+  // to the scalar path's private-kit routes). A failure here — unknown
+  // graph id, bad ppoly profile — is deterministic for every cell of the
+  // group: fall back to the scalar path, which reports the identical
+  // error outcome.
+  sim::BatchEngine engine;
+  GraphHandle gh;
+  std::unique_ptr<TrajKit> kit;
+  try {
+    const RendezvousSpec& rv0 = *specs[batch.indices.front()].rendezvous();
+    gh = graphs ? graphs->resolve(rv0.graph)
+                : std::make_shared<const Graph>(make_graph(rv0.graph));
+    kit = std::make_unique<TrajKit>(make_ppoly(rv0.ppoly), rv0.kit_seed);
+  } catch (...) {
+    for (const std::size_t i : batch.indices) run_scalar(i);
+    return 0;
+  }
+  const Graph& g = *gh;
+
+  // Shared-route interning: one materialized route per distinct
+  // (algo, label, start) triple, however many lanes walk it.
+  std::map<std::tuple<int, std::uint64_t, Node>, std::uint32_t> route_ids;
+  const auto shared_route = [&](const RendezvousSpec& rv, Node start,
+                                std::uint64_t label) {
+    const auto key = std::make_tuple(static_cast<int>(rv.algo), label, start);
+    const auto it = route_ids.find(key);
+    if (it != route_ids.end()) return it->second;
+    const std::uint32_t id =
+        engine.routes().add(rendezvous_route(g, *kit, rv, start, label));
+    route_ids.emplace(key, id);
+    return id;
+  };
+
+  std::vector<Lane> lanes;
+  std::vector<std::size_t> fallback;
+  for (const std::size_t i : batch.indices) {
+    const RendezvousSpec& rv = *specs[i].rendezvous();
+    try {
+      if (rv.labels.size() != 2) {
+        throw std::logic_error("rendezvous scenario needs exactly 2 labels");
+      }
+      std::vector<Node> starts = rv.starts;
+      if (starts.empty()) starts = {0, g.size() - 1};
+      if (starts.size() != 2) {
+        throw std::logic_error("rendezvous scenario needs exactly 2 starts");
+      }
+      Lane lane;
+      lane.spec_index = i;
+      lane.adv = make_adversary(rv.adversary, rv.seed);
+      if (rv.record_schedule) {
+        lane.schedule = std::make_unique<Schedule>();
+        lane.adv = std::make_unique<RecordingAdversary>(std::move(lane.adv),
+                                                        lane.schedule.get());
+      }
+      sim::BatchLaneSpec ls;
+      ls.graph = gh;
+      ls.policy = sim::MeetingPolicy::Halt;
+      for (int a = 0; a < 2; ++a) {
+        sim::BatchAgentSpec agent;
+        agent.start = starts[static_cast<std::size_t>(a)];
+        agent.route = shared_route(rv, agent.start,
+                                   rv.labels[static_cast<std::size_t>(a)]);
+        agent.awake = true;
+        agent.end_policy = sim::EndPolicy::Sticky;
+        ls.agents.push_back(std::move(agent));
+      }
+      engine.add_lane(std::move(ls));  // last: a throw must not leave a lane
+      lanes.push_back(std::move(lane));
+    } catch (...) {
+      // Cell-level setup failure (wrong label/start count, unknown
+      // adversary, co-located starts): the scalar path produces the exact
+      // deterministic error outcome for it.
+      fallback.push_back(i);
+    }
+  }
+
+  std::size_t batched = lanes.size();
+  if (!lanes.empty()) {
+    try {
+      std::vector<sim::BatchLaneDriver> drivers;
+      drivers.reserve(lanes.size());
+      for (const Lane& l : lanes) {
+        drivers.push_back(
+            {l.adv.get(), specs[l.spec_index].rendezvous()->budget, 0});
+      }
+      const std::vector<RendezvousResult> results =
+          sim::run_rendezvous_batch(engine, drivers);
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        fill_outcome(lanes[k].spec_index, results[k],
+                     std::move(lanes[k].schedule),
+                     outcomes[lanes[k].spec_index]);
+      }
+    } catch (...) {
+      // Batch-wide failure mid-run: rerun every lane scalar from scratch —
+      // whatever threw here throws (and is reported) identically there.
+      for (const Lane& l : lanes) fallback.push_back(l.spec_index);
+      batched = 0;
+    }
+  }
+  for (const std::size_t i : fallback) run_scalar(i);
+  return batched;
+}
+
+}  // namespace asyncrv::runner

@@ -1,0 +1,58 @@
+// Batched execution of rendezvous sweep cells (DESIGN.md §8).
+//
+// The pipeline's batch mode routes cache-missing rendezvous specs through
+// sim::BatchEngine instead of one scalar SimEngine per cell. The unit of
+// work is a SpecBatch: cells sharing (graph id, ppoly profile, kit seed),
+// formed deterministically in first-appearance order BEFORE the worker
+// pool starts — so batched reports stay byte-identical across thread
+// counts — and executed whole on one worker, so the per-batch TrajKit
+// (whose LengthCalculus memoization is not thread-safe) is never shared
+// across threads. Within a batch, distinct (algo, label, start) routes are
+// interned once in the engine's RouteTable and walked by every lane that
+// uses them.
+//
+// Outcomes are bit-identical to the scalar path: the engine reproduces
+// SimEngine observables exactly, the run loop replicates
+// sim::run_rendezvous per lane, and any cell the batch path cannot set up
+// (or a batch-wide failure) falls back to scalar run_experiment, so even
+// error outcomes match byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runner/graph_cache.h"
+#include "runner/outcome.h"
+#include "runner/spec.h"
+
+namespace asyncrv::runner {
+
+/// Whether a spec can run on the batched lockstep path (currently: every
+/// rendezvous cell; SGL and search keep the scalar path).
+bool batchable(const ExperimentSpec& spec);
+
+/// One formed batch: positions (into the sweep's spec vector) of cells
+/// sharing (graph, ppoly, kit_seed).
+struct SpecBatch {
+  std::vector<std::size_t> indices;
+};
+
+/// Deterministic batch formation over the cache-missing positions `misses`
+/// (cache hits were already served — a warm sweep forms zero batches):
+/// batchable cells are grouped by (graph, ppoly, kit_seed) in
+/// first-appearance order and each group is split into chunks of at most
+/// `batch_size`; non-batchable positions are appended to *scalar in order.
+std::vector<SpecBatch> form_batches(const std::vector<ExperimentSpec>& specs,
+                                    const std::vector<std::size_t>& misses,
+                                    std::size_t batch_size,
+                                    std::vector<std::size_t>* scalar);
+
+/// Executes one batch, writing outcomes[i] for every i in batch.indices
+/// (outcome.index included). Returns the number of lanes that actually ran
+/// batched; the remainder fell back to scalar run_experiment (using
+/// `scratch` / `graphs` exactly like a pipeline worker).
+std::size_t run_spec_batch(const std::vector<ExperimentSpec>& specs,
+                           const SpecBatch& batch, sim::EngineScratch* scratch,
+                           GraphCache* graphs, ExperimentOutcome* outcomes);
+
+}  // namespace asyncrv::runner

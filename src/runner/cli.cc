@@ -6,7 +6,8 @@
 namespace asyncrv::runner {
 
 const char* PipelineCli::flags_help() {
-  return "[--csv <path>] [--jsonl <path>] [--cache-dir <dir>] [--threads <n>]";
+  return "[--csv <path>] [--jsonl <path>] [--cache-dir <dir>] [--threads <n>] "
+         "[--batch]";
 }
 
 std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
@@ -38,6 +39,8 @@ std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
         throw std::logic_error("bad --threads value: " + v);
       }
       threads_ = n;
+    } else if (arg == "--batch") {
+      batch_ = true;
     } else {
       rest.push_back(arg);
     }
@@ -61,6 +64,7 @@ bool PipelineCli::parse_flags_only(const std::string& tool, int argc,
 PipelineOptions PipelineCli::options() const {
   PipelineOptions opts;
   opts.threads = threads_;
+  opts.batch = batch_;
   if (csv_) opts.sinks.push_back(csv_.get());
   if (jsonl_) opts.sinks.push_back(jsonl_.get());
   opts.cache = cache_.get();

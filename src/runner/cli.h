@@ -7,6 +7,8 @@
 //   --jsonl <path>     write the sweep table as JSON Lines
 //   --cache-dir <dir>  persistent sweep cache (created if missing)
 //   --threads <n>      worker threads (default: hardware concurrency)
+//   --batch            batched lockstep execution of rendezvous cells
+//                      (sim/batch_engine.h; bit-identical output)
 //
 // PipelineCli::parse consumes those flags (throwing std::logic_error on
 // malformed input) and returns the remaining arguments for the tool's own
@@ -47,12 +49,14 @@ class PipelineCli {
   bool has_cache() const { return cache_ != nullptr; }
   const SweepCache* cache() const { return cache_.get(); }
   int threads() const { return threads_; }
+  bool batch() const { return batch_; }
 
  private:
   std::unique_ptr<CsvSink> csv_;
   std::unique_ptr<JsonlSink> jsonl_;
   std::unique_ptr<SweepCache> cache_;
   int threads_ = 0;
+  bool batch_ = false;
 };
 
 }  // namespace asyncrv::runner

@@ -20,19 +20,6 @@ GraphHandle resolve_graph(const std::string& id, GraphCache* graphs) {
   return std::make_shared<const Graph>(make_graph(id));
 }
 
-RouteFn make_route(const Graph& g, const TrajKit& kit, const RendezvousSpec& spec,
-                   Node start, std::uint64_t label) {
-  if (spec.algo == RouteAlgo::Baseline) {
-    const std::uint64_t n = g.size();
-    return make_walker_route(g, start, [&kit, n, label](Walker& w) {
-      return baseline_route(w, kit, n, label);
-    });
-  }
-  return make_walker_route(g, start, [&kit, label](Walker& w) {
-    return rv_route(w, kit, label, nullptr);
-  });
-}
-
 void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out,
                     sim::EngineScratch* scratch, GraphCache* graphs) {
   if (spec.labels.size() != 2) {
@@ -52,8 +39,9 @@ void run_rendezvous(const RendezvousSpec& spec, ExperimentOutcome& out,
 
   sim::SimEngine engine(g, sim::MeetingPolicy::Halt, nullptr, scratch);
   for (int i = 0; i < 2; ++i) {
-    engine.add_agent({make_route(g, kit, spec, starts[static_cast<std::size_t>(i)],
-                                 spec.labels[static_cast<std::size_t>(i)]),
+    engine.add_agent({rendezvous_route(g, kit, spec,
+                                       starts[static_cast<std::size_t>(i)],
+                                       spec.labels[static_cast<std::size_t>(i)]),
                       starts[static_cast<std::size_t>(i)], /*awake=*/true,
                       sim::EndPolicy::Sticky});
   }
@@ -134,6 +122,20 @@ void run_search(const SearchSpec& spec, ExperimentOutcome& out,
 }
 
 }  // namespace
+
+sim::MoveSource rendezvous_route(const Graph& g, const TrajKit& kit,
+                                 const RendezvousSpec& spec, Node start,
+                                 std::uint64_t label) {
+  if (spec.algo == RouteAlgo::Baseline) {
+    const std::uint64_t n = g.size();
+    return make_walker_route(g, start, [&kit, n, label](Walker& w) {
+      return baseline_route(w, kit, n, label);
+    });
+  }
+  return make_walker_route(g, start, [&kit, label](Walker& w) {
+    return rv_route(w, kit, label, nullptr);
+  });
+}
 
 std::string ExperimentOutcome::status_label() const {
   if (status == RunStatus::Error) return "error";

@@ -110,6 +110,15 @@ ExperimentOutcome run_experiment(const ExperimentSpec& spec,
                                  sim::EngineScratch* scratch,
                                  GraphCache* graphs);
 
+/// The MoveSource of one rendezvous agent (RV-asynch-poly or the baseline,
+/// per spec.algo), lazily generated through a suspended walker coroutine.
+/// The single definition shared by the scalar executor and the batched
+/// path (runner/batch.cc), so the two can never drift. `g` and `kit` are
+/// caller-owned and must outlive the returned source.
+sim::MoveSource rendezvous_route(const Graph& g, const TrajKit& kit,
+                                 const RendezvousSpec& spec, Node start,
+                                 std::uint64_t label);
+
 /// The search::Problem a SearchSpec actually evaluates: objective parsed,
 /// labels defaulted to {5, 12} and starts to {0, n-1} when empty — the
 /// single definition of that translation, shared by the executor, by

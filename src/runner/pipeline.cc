@@ -1,5 +1,7 @@
 #include "runner/pipeline.h"
 
+#include "runner/batch.h"
+
 #include <atomic>
 #include <mutex>
 #include <sstream>
@@ -214,13 +216,26 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
     for (std::size_t i = 0; i < specs.size(); ++i) misses[i] = i;
   }
 
-  // Phase 2 — execute the misses across the pool.
+  // Phase 2 — execute the misses across the pool. In batch mode the
+  // rendezvous misses are first formed into topology-grouped SpecBatch
+  // jobs (deterministically, BEFORE any worker starts — so the job list,
+  // and hence every outcome, is independent of scheduling); the remainder
+  // stays on the scalar path. A job is one batch or one scalar miss.
   report.executed = misses.size();
+  std::vector<std::size_t> scalar_misses;
+  std::vector<SpecBatch> batches;
+  if (options_.batch) {
+    batches = form_batches(specs, misses, options_.batch_size, &scalar_misses);
+  } else {
+    scalar_misses = misses;
+  }
+  const std::size_t n_jobs = batches.size() + scalar_misses.size();
+
   unsigned n_threads = options_.threads > 0
                            ? static_cast<unsigned>(options_.threads)
                            : std::thread::hardware_concurrency();
   if (n_threads == 0) n_threads = 1;
-  if (n_threads > misses.size()) n_threads = static_cast<unsigned>(misses.size());
+  if (n_threads > n_jobs) n_threads = static_cast<unsigned>(n_jobs);
 
   // One graph cache for the whole batch: every worker resolves topology
   // ids through it, so each distinct graph is constructed exactly once
@@ -230,25 +245,39 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
       options_.graph_cache ? options_.graph_cache : &local_graphs;
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> batched{0};
   const auto worker = [&]() {
     // One engine arena per worker: back-to-back scenarios on this thread
     // reuse the occupancy index and sweep scratch instead of reallocating
     // per run. Outcomes are unaffected (tests/pipeline_test.cc).
     sim::EngineScratch scratch;
-    while (true) {
-      const std::size_t m = next.fetch_add(1);
-      if (m >= misses.size()) return;
-      const std::size_t i = misses[m];
-      ExperimentOutcome out = run_experiment(specs[i], &scratch, graphs);
-      out.index = i;
-      // Store before the callback (a throwing callback is an environmental
-      // failure of THIS run) and never store transient errors — both would
-      // poison the cache with failures a re-run could avoid.
+    // Store before the callback (a throwing callback is an environmental
+    // failure of THIS run) and never store transient errors — both would
+    // poison the cache with failures a re-run could avoid.
+    const auto store_and_deliver = [&](std::size_t i) {
+      ExperimentOutcome& out = report.outcomes[i];
       if (options_.cache && !out.transient_error) {
         options_.cache->store(specs[i], out);
       }
       deliver(specs[i], out);
+    };
+    while (true) {
+      const std::size_t j = next.fetch_add(1);
+      if (j >= n_jobs) return;
+      if (j < batches.size()) {
+        // A whole batch runs on one worker: its shared TrajKit memoizes
+        // without locks, and its lanes' outcomes land directly in their
+        // report slots (distinct per job, so no two workers collide).
+        batched.fetch_add(run_spec_batch(specs, batches[j], &scratch, graphs,
+                                         report.outcomes.data()));
+        for (const std::size_t i : batches[j].indices) store_and_deliver(i);
+        continue;
+      }
+      const std::size_t i = scalar_misses[j - batches.size()];
+      ExperimentOutcome out = run_experiment(specs[i], &scratch, graphs);
+      out.index = i;
       report.outcomes[i] = std::move(out);
+      store_and_deliver(i);
     }
   };
 
@@ -260,6 +289,7 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
     for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  report.batched = batched.load();
 
   report.graph_stats = graphs->stats();
 

@@ -64,6 +64,10 @@ struct PipelineReport {
   GroupStats totals;             ///< whole-batch rollup (key "all")
   std::uint64_t cache_hits = 0;  ///< outcomes served from the sweep cache
   std::uint64_t executed = 0;    ///< outcomes actually simulated
+  /// Of `executed`, the outcomes produced by the batched lockstep engine
+  /// (PipelineOptions::batch); the rest ran scalar — non-rendezvous kinds,
+  /// cells the batch path could not set up, and batch-mode-off runs.
+  std::uint64_t batched = 0;
 
   /// Interning stats of the graph cache the run resolved topologies
   /// through — a snapshot taken after the batch, so for a fresh cache
@@ -99,6 +103,17 @@ struct PipelineOptions {
   /// topology is constructed exactly once per batch. Pass one to share
   /// interned instances (and accumulate stats) across runs.
   GraphCache* graph_cache = nullptr;
+  /// Execute cache-missing rendezvous cells on the batched lockstep engine
+  /// (sim/batch_engine.h, DESIGN.md §8): cells are grouped by topology and
+  /// advanced hundreds at a time over structure-of-arrays state, sharing
+  /// interned graphs and materialized routes. Outcomes (and every sink
+  /// byte) are bit-identical to the scalar path — other spec kinds, and
+  /// any cell the batch path cannot set up, fall back to scalar execution
+  /// automatically. Cache hits are served in phase 1 as always, so a warm
+  /// sweep forms zero batches.
+  bool batch = false;
+  /// Max lanes per formed batch (batch mode only).
+  std::size_t batch_size = 256;
   /// Streamed per-outcome callback, invoked as scenarios finish or are
   /// loaded from cache (serialized by the pipeline; arbitrary order). A
   /// throw is contained and marks the outcome errored — after the outcome

@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "sim/batch_engine.h"  // inline EngineView accessor definitions
 #include "sim/engine.h"
 #include "sim/position.h"
 
@@ -17,7 +18,7 @@ class GenomeAdversary final : public Adversary {
   explicit GenomeAdversary(ScheduleGenome genome)
       : genome_(std::move(genome)) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     const Gene& g = genome_.genes[gene_];
     if (++played_ >= g.repeat) {
       played_ = 0;

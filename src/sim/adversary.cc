@@ -1,5 +1,6 @@
 #include "sim/adversary.h"
 
+#include "sim/batch_engine.h"  // inline EngineView accessor definitions
 #include "sim/engine.h"
 #include "sim/two_agent.h"
 
@@ -7,7 +8,7 @@ namespace asyncrv {
 
 AdvStep Adversary::next(const TwoAgentSim& sim) { return next(sim.engine()); }
 
-int first_movable(const sim::SimEngine& engine, int preferred) {
+int first_movable(const sim::EngineView& engine, int preferred) {
   const int n = engine.agent_count();
   for (int i = 0; i < n; ++i) {
     const int agent = (preferred + i) % n;
@@ -20,7 +21,7 @@ namespace {
 
 class FairAdversary final : public Adversary {
  public:
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     turn_ = (turn_ + 1) % engine.agent_count();
     return {first_movable(engine, turn_), kEdgeUnits};
   }
@@ -35,7 +36,7 @@ class RandomAdversary final : public Adversary {
   RandomAdversary(std::uint64_t seed, int bias_permille)
       : rng_(seed), bias_(bias_permille) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     const int n = engine.agent_count();
     int agent = 0;
     if (!rng_.chance(static_cast<std::uint64_t>(bias_), 1000)) {
@@ -59,7 +60,7 @@ class StallAdversary final : public Adversary {
   StallAdversary(int stalled, std::uint64_t stall_traversals)
       : stalled_(stalled), threshold_(stall_traversals) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     const int n = engine.agent_count();
     ASYNCRV_CHECK_MSG(stalled_ >= 0 && stalled_ < n,
                       "stalled agent index out of range");
@@ -90,7 +91,7 @@ class BurstAdversary final : public Adversary {
  public:
   BurstAdversary(std::uint64_t seed, int max_burst) : rng_(seed), max_burst_(max_burst) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     if (remaining_ == 0) {
       agent_ = static_cast<int>(
           rng_.below(static_cast<std::uint64_t>(engine.agent_count())));
@@ -112,7 +113,7 @@ class OscillatingAdversary final : public Adversary {
  public:
   explicit OscillatingAdversary(std::uint64_t seed) : rng_(seed) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     turn_ = (turn_ + 1) % engine.agent_count();
     const int agent = first_movable(engine, turn_);
     if (engine.mid_edge(agent) && rng_.chance(1, 3)) {
@@ -133,7 +134,7 @@ class AvoiderAdversary final : public Adversary {
  public:
   explicit AvoiderAdversary(std::uint64_t seed) : rng_(seed) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     const int n = engine.agent_count();
     const auto quantum = static_cast<std::int64_t>(rng_.between(kEdgeUnits / 4, kEdgeUnits));
     const int first = static_cast<int>(rng_.below(static_cast<std::uint64_t>(n)));
@@ -157,7 +158,7 @@ class PhaseAdversary final : public Adversary {
   PhaseAdversary(std::uint64_t seed, std::uint64_t max_phase)
       : rng_(seed), max_phase_(max_phase) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     if (remaining_ == 0) {
       agent_ = (agent_ + 1) % engine.agent_count();
       remaining_ = rng_.between(1, max_phase_);
@@ -178,7 +179,7 @@ class SkewAdversary final : public Adversary {
  public:
   SkewAdversary(std::uint64_t seed, int ratio) : rng_(seed), ratio_(ratio) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     const int n = engine.agent_count();
     if (until_swap_ == 0) {
       fast_ = (fast_ + 1) % n;

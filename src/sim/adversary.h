@@ -6,11 +6,12 @@
 // schedule; the strategies here form the ablation battery of experiment E9
 // and the failure-injection arm of the test suite.
 //
-// Strategies consume the unified sim::SimEngine view and generalize to any
-// number of agents (AdvStep is an agent index + a signed micro-unit delta),
-// so the same battery drives two-agent rendezvous runs and k-agent engines
-// alike; for N = 2 every strategy behaves exactly as the historical
-// two-agent battery did.
+// Strategies consume a sim::EngineView — a cheap concrete handle over
+// either a whole sim::SimEngine or one lane of a sim::BatchEngine — and
+// generalize to any number of agents (AdvStep is an agent index + a signed
+// micro-unit delta), so the same battery drives two-agent rendezvous runs,
+// k-agent engines and batched lockstep lanes alike; for N = 2 every
+// strategy behaves exactly as the historical two-agent battery did.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +25,32 @@ namespace asyncrv {
 
 namespace sim {
 class SimEngine;
+class BatchEngine;
+
+/// The read-only engine surface an adversary consults to pick its next
+/// step: a non-owning view of one simulated scenario — a scalar SimEngine,
+/// or a single lane of a BatchEngine. Concrete (one predictable branch per
+/// accessor, no virtual dispatch) so the scalar hot path keeps its inlined
+/// queries. Implicit from SimEngine, so `adv.next(engine)` reads as before.
+class EngineView {
+ public:
+  /* implicit */ EngineView(const SimEngine& engine) : engine_(&engine) {}
+  EngineView(const BatchEngine& batch, int lane)
+      : batch_(&batch), lane_(lane) {}
+
+  int agent_count() const;
+  bool awake(int idx) const;
+  bool route_ended(int idx) const;
+  bool mid_edge(int idx) const;
+  std::uint64_t completed_traversals(int idx) const;
+  std::uint64_t charged_traversals(int idx) const;
+  bool would_meet_within_edge(int idx, std::int64_t delta) const;
+
+ private:
+  const SimEngine* engine_ = nullptr;
+  const BatchEngine* batch_ = nullptr;
+  int lane_ = 0;
+};
 }  // namespace sim
 
 class TwoAgentSim;
@@ -36,8 +63,9 @@ struct AdvStep {
 class Adversary {
  public:
   virtual ~Adversary() = default;
-  /// The next scheduling decision against any engine with N >= 2 agents.
-  virtual AdvStep next(const sim::SimEngine& engine) = 0;
+  /// The next scheduling decision against any engine view with N >= 2
+  /// agents (a SimEngine converts implicitly).
+  virtual AdvStep next(const sim::EngineView& engine) = 0;
   /// Legacy convenience: dispatches on the sim's underlying engine.
   AdvStep next(const TwoAgentSim& sim);
   virtual std::string name() const = 0;
@@ -46,7 +74,7 @@ class Adversary {
 /// The first agent, scanning cyclically from `preferred`, whose route has
 /// not ended (falls back to `preferred` when every route is over). The
 /// "don't waste a step on a stopped agent" helper shared by the battery.
-int first_movable(const sim::SimEngine& engine, int preferred);
+int first_movable(const sim::EngineView& engine, int preferred);
 
 /// Strict rotation (alternation for N = 2), full-edge quanta — the
 /// "synchronous" schedule.

@@ -1,0 +1,301 @@
+#include "sim/batch_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/adversary.h"
+
+namespace asyncrv::sim {
+
+int BatchEngine::add_lane(BatchLaneSpec spec) {
+  ASYNCRV_CHECK(spec.graph != nullptr);
+  ASYNCRV_CHECK_MSG(spec.agents.size() >= 2,
+                    "a lane needs at least 2 agents");
+  const Graph& g = *spec.graph;
+  const std::uint32_t first = static_cast<std::uint32_t>(st_.slots());
+
+  // Validate the whole lane before touching any array: a rejected lane
+  // must leave the batch exactly as it was (the runner's batch formation
+  // falls rejected cells back to the scalar path and carries on).
+  for (std::size_t i = 0; i < spec.agents.size(); ++i) {
+    const BatchAgentSpec& a = spec.agents[i];
+    ASYNCRV_CHECK(a.start < g.size());
+    ASYNCRV_CHECK(a.route != kNoRoute ? a.route < routes_.size()
+                                      : a.source != nullptr);
+    for (std::size_t j = 0; j < i; ++j) {
+      ASYNCRV_CHECK_MSG(spec.agents[j].start != a.start,
+                        "agents start at pairwise different nodes");
+    }
+  }
+
+  for (std::size_t i = 0; i < spec.agents.size(); ++i) {
+    BatchAgentSpec& a = spec.agents[i];
+    st_.has_cur.push_back(0);
+    st_.cur.push_back(Move{});
+    st_.prog.push_back(0);
+    st_.at.push_back(a.start);
+    st_.cur_eid.push_back(kNoEdgeId);
+    st_.completed.push_back(0);
+    st_.awake.push_back(a.awake ? 1 : 0);
+    st_.ended.push_back(0);
+    st_.end_policy.push_back(a.end_policy);
+    st_.route.push_back(a.route);
+    st_.cursor.push_back(0);
+    st_.source.push_back(std::move(a.source));
+  }
+
+  st_.lane_graph.push_back(std::move(spec.graph));
+  st_.lane_policy.push_back(spec.policy);
+  st_.lane_sink.push_back(spec.sink);
+  st_.lane_first.push_back(first);
+  st_.lane_agents.push_back(static_cast<std::uint32_t>(spec.agents.size()));
+  st_.lane_met.push_back(0);
+  st_.lane_meeting.push_back(Pos{});
+  return lane_count() - 1;
+}
+
+Pos BatchEngine::pos_of(const Graph& g, std::size_t s) const {
+  if (st_.has_cur[s] == 0) return Pos::at_node(st_.at[s]);
+  const Move& m = st_.cur[s];
+  const std::int64_t prog = st_.prog[s];
+  if (prog == 0) return Pos::at_node(m.from);
+  if (prog == kEdgeUnits) return Pos::at_node(m.to);
+  return Pos::on_edge(edge_of(g, s), canonical_offset(m.from, m.to, prog));
+}
+
+void BatchEngine::wake(int lane, int idx) {
+  const std::size_t s = slot(lane, idx);
+  if (st_.awake[s] != 0) return;
+  st_.awake[s] = 1;
+  if (EventSink* sink = st_.lane_sink[checked_lane(lane)]) sink->on_wake(idx);
+}
+
+void BatchEngine::fire_meeting(int lane, int mover,
+                               const std::vector<int>& group) {
+  // Wake dormant members first (a woken agent participates in the meeting).
+  for (int i : group) wake(lane, i);
+  if (EventSink* sink = st_.lane_sink[checked_lane(lane)]) {
+    sink->on_meeting(mover, group);
+  }
+}
+
+bool BatchEngine::process_sweep(const Graph& g, int lane, int idx,
+                                std::size_t s, std::int64_t from_prog,
+                                std::int64_t to_prog) {
+  const std::size_t l = checked_lane(lane);
+  const Move& m = st_.cur[s];
+  ASYNCRV_DCHECK(st_.has_cur[s] != 0);
+
+  // Reference-scan contact collection over the lane's agent block — the
+  // exact geometry (and tie-break order) of SimEngine's retained oracle.
+  const std::uint32_t n = st_.lane_agents[l];
+  const std::uint32_t first = st_.lane_first[l];
+  contacts_.clear();
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (static_cast<int>(j) == idx) continue;
+    const std::size_t o = first + j;
+    if (!on_sweep_edge(g, o, s, m)) continue;
+    const auto c = sweep_contact(g, m, from_prog, to_prog, pos_of(g, o));
+    if (c) contacts_.push_back({*c, static_cast<int>(j)});
+  }
+  if (contacts_.empty()) {
+    st_.prog[s] = to_prog;
+    return false;
+  }
+  const bool forward = to_prog >= from_prog;
+  std::sort(contacts_.begin(), contacts_.end(),
+            [forward](const EngineScratch::Contact& x,
+                      const EngineScratch::Contact& y) {
+              if (x.at != y.at) return forward ? x.at < y.at : x.at > y.at;
+              return x.agent < y.agent;
+            });
+
+  if (st_.lane_policy[l] == MeetingPolicy::Halt) {
+    // The first contact ends the lane: stop exactly there.
+    const std::int64_t cp = contacts_.front().at;
+    st_.lane_meeting[l] =
+        pos_of(g, first + static_cast<std::uint32_t>(contacts_.front().agent));
+    st_.prog[s] = cp;
+    st_.lane_met[l] = 1;
+    group_.clear();
+    for (const EngineScratch::Contact& c : contacts_) {
+      if (c.at == cp) group_.push_back(c.agent);
+    }
+    fire_meeting(lane, idx, group_);
+    return true;
+  }
+
+  // Continue policy: the mover finishes the sweep; every distinct contact
+  // point yields one grouped meeting event, in sweep order.
+  st_.prog[s] = to_prog;
+  std::size_t i = 0;
+  while (i < contacts_.size()) {
+    std::size_t j = i;
+    group_.clear();
+    while (j < contacts_.size() && contacts_[j].at == contacts_[i].at) {
+      group_.push_back(contacts_[j].agent);
+      ++j;
+    }
+    fire_meeting(lane, idx, group_);
+    i = j;
+  }
+  return false;
+}
+
+std::optional<Move> BatchEngine::pull_move(std::size_t s) {
+  const std::uint32_t r = st_.route[s];
+  if (r != kNoRoute) {
+    auto m = routes_.move_at(r, st_.cursor[s]);
+    if (m) ++st_.cursor[s];
+    return m;
+  }
+  return st_.source[s]();
+}
+
+std::int64_t BatchEngine::advance(int lane, int idx, std::int64_t delta) {
+  const std::size_t l = checked_lane(lane);
+  const std::size_t s = slot(lane, idx);
+  if (st_.lane_met[l] != 0 && st_.lane_policy[l] == MeetingPolicy::Halt) {
+    return 0;
+  }
+  if (st_.awake[s] == 0) return 0;
+
+  const Graph& g = *st_.lane_graph[l];
+  if (delta < 0) {
+    // Backward motion is confined to the current edge.
+    if (st_.has_cur[s] == 0) return 0;
+    std::int64_t target = st_.prog[s] + delta;
+    if (target < 0) target = 0;
+    const std::int64_t from = st_.prog[s];
+    process_sweep(g, lane, idx, s, from, target);
+    return from - st_.prog[s];
+  }
+
+  std::int64_t consumed = 0;
+  while (delta > 0) {
+    if (st_.has_cur[s] == 0) {
+      if (st_.ended[s] != 0) break;
+      auto m = pull_move(s);
+      if (!m) {
+        if (st_.end_policy[s] == EndPolicy::Sticky) st_.ended[s] = 1;
+        break;
+      }
+      ASYNCRV_CHECK_MSG(m->from == st_.at[s],
+                        "route move must start at current node");
+      st_.cur[s] = *m;
+      st_.has_cur[s] = 1;
+      st_.cur_eid[s] = kNoEdgeId;  // edge_of computes it if a sweep asks
+      st_.prog[s] = 0;
+      // Leaving a node: co-location at the node itself counts as a meeting
+      // and is caught by the sweep below (progress interval includes 0).
+    }
+    const std::int64_t room = kEdgeUnits - st_.prog[s];
+    const std::int64_t step = delta < room ? delta : room;
+    const std::int64_t from = st_.prog[s];
+    const bool halted = process_sweep(g, lane, idx, s, from, from + step);
+    consumed += st_.prog[s] - from;
+    if (halted) break;
+    delta -= step;
+    if (st_.prog[s] == kEdgeUnits) {
+      ++st_.completed[s];
+      st_.at[s] = st_.cur[s].to;
+      st_.has_cur[s] = 0;
+      st_.prog[s] = 0;
+    }
+  }
+  return consumed;
+}
+
+bool BatchEngine::would_meet_within_edge(int lane, int idx,
+                                         std::int64_t delta) const {
+  const std::size_t l = checked_lane(lane);
+  const std::size_t s = slot(lane, idx);
+  if (st_.has_cur[s] == 0 || delta <= 0) return false;
+  std::int64_t target = st_.prog[s] + delta;
+  if (target > kEdgeUnits) target = kEdgeUnits;
+
+  const Graph& g = *st_.lane_graph[l];
+  const Move& m = st_.cur[s];
+  const std::uint32_t n = st_.lane_agents[l];
+  const std::uint32_t first = st_.lane_first[l];
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (static_cast<int>(j) == idx) continue;
+    const std::size_t o = first + j;
+    if (!on_sweep_edge(g, o, s, m)) continue;
+    if (sweep_contact(g, m, st_.prog[s], target, pos_of(g, o))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RendezvousResult> run_rendezvous_batch(
+    BatchEngine& engine, const std::vector<BatchLaneDriver>& lanes) {
+  const int n_lanes = engine.lane_count();
+  ASYNCRV_CHECK(static_cast<int>(lanes.size()) == n_lanes);
+  std::vector<RendezvousResult> out(static_cast<std::size_t>(n_lanes));
+
+  // Per-lane step guards: the same saturating 16 * budget + 2^20 default as
+  // the scalar run loop (see sim::run_rendezvous).
+  constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+  constexpr std::uint64_t kSlack = std::uint64_t{1} << 20;
+  std::vector<std::uint64_t> max_steps(static_cast<std::size_t>(n_lanes));
+  std::vector<std::uint64_t> steps(static_cast<std::size_t>(n_lanes), 0);
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(n_lanes));
+  for (int lane = 0; lane < n_lanes; ++lane) {
+    const std::size_t l = static_cast<std::size_t>(lane);
+    ASYNCRV_CHECK(lanes[l].adversary != nullptr);
+    max_steps[l] = lanes[l].max_steps != 0 ? lanes[l].max_steps
+                   : lanes[l].budget > (kU64Max - kSlack) / 16
+                       ? kU64Max
+                       : 16 * lanes[l].budget + kSlack;
+    live.push_back(lane);
+  }
+
+  // Lockstep rounds: one adversary decision per live lane per round. A
+  // retiring lane swap-compacts out of the live set, so the round cost
+  // tracks the number of unfinished scenarios, not the batch size. Lanes
+  // never interact, so per-lane observables are exactly the scalar loop's.
+  while (!live.empty()) {
+    for (std::size_t i = 0; i < live.size();) {
+      const int lane = live[i];
+      const std::size_t l = static_cast<std::size_t>(lane);
+      bool retire = engine.met(lane);
+      if (!retire) {
+        if (engine.charged_traversals(lane, 0) +
+                    engine.charged_traversals(lane, 1) >=
+                lanes[l].budget ||
+            ++steps[l] > max_steps[l]) {
+          out[l].budget_exhausted = true;
+          retire = true;
+        }
+      }
+      if (!retire) {
+        bool all_ended = true;
+        const int n = engine.agent_count(lane);
+        for (int a = 0; a < n && all_ended; ++a) {
+          all_ended = engine.route_ended(lane, a);
+        }
+        retire = all_ended;  // everyone stopped, no meeting
+      }
+      if (retire) {
+        out[l].met = engine.met(lane);
+        out[l].meeting_point = engine.meeting_point(lane);
+        out[l].traversals_a = engine.charged_traversals(lane, 0);
+        out[l].traversals_b = engine.charged_traversals(lane, 1);
+        live[i] = live.back();
+        live.pop_back();
+        continue;
+      }
+      const AdvStep step =
+          lanes[l].adversary->next(EngineView(engine, lane));
+      ASYNCRV_CHECK(step.agent >= 0 && step.agent < engine.agent_count(lane));
+      engine.advance(lane, step.agent, step.delta);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace asyncrv::sim

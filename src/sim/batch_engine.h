@@ -1,0 +1,213 @@
+// BatchEngine — the batched lockstep executor (DESIGN.md §8).
+//
+// Advances B independent scenarios ("lanes") over the structure-of-arrays
+// state of sim/batch_state.h. Each lane is semantically one SimEngine: the
+// per-lane surface (advance / wake / would_meet_within_edge / positions /
+// traversal counts / met state) reproduces SimEngine observables
+// bit-for-bit — same sweep geometry, same (progress, agent-index) event
+// order, same charging rules — which tests/batch_engine_fuzz_test.cc
+// enforces event-for-event against scalar oracles.
+//
+// Sweeps use the reference-scan semantics (SimEngine::set_reference_scan)
+// over the lane's contiguous agent block: lanes hold a handful of agents
+// (N <= 6 in every battery), so the O(N) scan beats maintaining B
+// occupancy indexes — per-lane index buckets over hundreds of lanes of
+// large graphs would wreck the cache residency batching exists to buy.
+// The scan path is already proven event-identical to the indexed scalar
+// path by tests/engine_fuzz_test.cc, so batch == refscan == indexed.
+//
+// Where the speed comes from: scenarios that share a topology share one
+// interned GraphHandle (group lanes by graph so its CSR arrays stay
+// cache-resident), and fixed routes are interned in a RouteTable —
+// materialized once, walked by every lane at the cost of two flat integers
+// per agent (route id, cursor) instead of a coroutine re-generation per
+// scenario. The scalar SimEngine stays as the differential oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/batch_state.h"
+#include "sim/engine.h"
+
+namespace asyncrv {
+
+class Adversary;  // sim/adversary.h
+
+namespace sim {
+
+class BatchEngine {
+ public:
+  BatchEngine() = default;
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// The shared-route intern table; populate before (or while) adding lanes.
+  RouteTable& routes() { return routes_; }
+
+  /// Registers one scenario; returns its lane id. Starts must be pairwise
+  /// distinct nodes within the lane (same invariant as SimEngine).
+  int add_lane(BatchLaneSpec spec);
+
+  int lane_count() const { return static_cast<int>(st_.lanes()); }
+  int agent_count(int lane) const {
+    return static_cast<int>(st_.lane_agents[checked_lane(lane)]);
+  }
+
+  /// SimEngine::advance, on one lane-local agent. Identical semantics:
+  /// forward motion pulls route moves as edges complete, backward motion is
+  /// confined to the current edge, sweeps fire wake / meeting events, Halt
+  /// lanes stop at the first contact point.
+  std::int64_t advance(int lane, int idx, std::int64_t delta);
+
+  /// Adversary-initiated wake-up. No-op on an awake agent.
+  void wake(int lane, int idx);
+
+  /// SimEngine::would_meet_within_edge for one lane-local agent.
+  bool would_meet_within_edge(int lane, int idx, std::int64_t delta) const;
+
+  Pos position(int lane, int idx) const {
+    return pos_of(*st_.lane_graph[checked_lane(lane)], slot(lane, idx));
+  }
+  bool awake(int lane, int idx) const { return st_.awake[slot(lane, idx)] != 0; }
+  bool route_ended(int lane, int idx) const {
+    const std::size_t s = slot(lane, idx);
+    return st_.ended[s] != 0 && st_.has_cur[s] == 0;
+  }
+  bool mid_edge(int lane, int idx) const {
+    return st_.has_cur[slot(lane, idx)] != 0;
+  }
+  std::uint64_t completed_traversals(int lane, int idx) const {
+    return st_.completed[slot(lane, idx)];
+  }
+  /// The in-progress traversal is charged once any part of it was walked.
+  std::uint64_t charged_traversals(int lane, int idx) const {
+    const std::size_t s = slot(lane, idx);
+    return st_.completed[s] +
+           ((st_.has_cur[s] != 0 && st_.prog[s] > 0) ? 1 : 0);
+  }
+
+  bool met(int lane) const { return st_.lane_met[checked_lane(lane)] != 0; }
+  Pos meeting_point(int lane) const {
+    return st_.lane_meeting[checked_lane(lane)];
+  }
+  const Graph& graph(int lane) const {
+    return *st_.lane_graph[checked_lane(lane)];
+  }
+
+ private:
+  std::size_t checked_lane(int lane) const {
+    ASYNCRV_DCHECK(lane >= 0 && lane < lane_count());
+    return static_cast<std::size_t>(lane);
+  }
+  std::size_t slot(int lane, int idx) const {
+    const std::size_t l = checked_lane(lane);
+    ASYNCRV_DCHECK(idx >= 0 &&
+                   idx < static_cast<int>(st_.lane_agents[l]));
+    return st_.lane_first[l] + static_cast<std::size_t>(idx);
+  }
+
+  Pos pos_of(const Graph& g, std::size_t s) const;
+
+  /// Memoized canonical edge id of slot s's current move (valid only while
+  /// has_cur). Lazy so the common traversal — pulled, walked end to end
+  /// with nobody near — never pays the CSR lookup at all.
+  std::uint32_t edge_of(const Graph& g, std::size_t s) const {
+    std::uint32_t& e = st_.cur_eid[s];
+    if (e == kNoEdgeId) e = g.edge_id(st_.cur[s].from, st_.cur[s].port_out);
+    return e;
+  }
+
+  /// True when slot o could lie on the sweep of slot s's move m — exactly
+  /// the cases where progress_of is non-null, answered from the flat
+  /// arrays without materializing the canonical position. The sweep
+  /// scan's equivalent of SimEngine's occupancy-index lookup: agents on
+  /// other edges (the common case in a large batch) cost one branch.
+  bool on_sweep_edge(const Graph& g, std::size_t o, std::size_t s,
+                     const Move& m) const {
+    if (st_.has_cur[o] != 0) {
+      const std::int64_t p = st_.prog[o];
+      if (p != 0 && p != kEdgeUnits) return edge_of(g, o) == edge_of(g, s);
+      const Node at = p == 0 ? st_.cur[o].from : st_.cur[o].to;
+      return at == m.from || at == m.to;
+    }
+    return st_.at[o] == m.from || st_.at[o] == m.to;
+  }
+
+  /// SimEngine::process_sweep with reference-scan semantics over the lane's
+  /// agent block. `s` is slot(lane, idx), precomputed by the caller.
+  /// Returns true if the lane halted at a contact.
+  bool process_sweep(const Graph& g, int lane, int idx, std::size_t s,
+                     std::int64_t from_prog, std::int64_t to_prog);
+
+  /// Next route move of slot s: cursor walk of the shared route, or a pull
+  /// from the private source.
+  std::optional<Move> pull_move(std::size_t s);
+
+  /// Wakes the group's dormant members, then fires one meeting event. All
+  /// indices are lane-local.
+  void fire_meeting(int lane, int mover, const std::vector<int>& group);
+
+  BatchState st_;
+  RouteTable routes_;
+  // Reusable sweep scratch (cf. EngineScratch) — steady state allocates
+  // nothing, whatever the batch size.
+  mutable InlineVec<EngineScratch::Contact, 8> contacts_;
+  std::vector<int> group_;
+};
+
+/// Per-lane driver inputs of run_rendezvous_batch: the adversary making
+/// this lane's scheduling decisions (caller-owned, one instance per lane —
+/// lanes must not share PRNG state) and the lane's traversal budget.
+struct BatchLaneDriver {
+  Adversary* adversary = nullptr;
+  std::uint64_t budget = 0;     ///< combined charged budget of agents 0+1
+  std::uint64_t max_steps = 0;  ///< 0 = the historical 16*budget + 2^20 guard
+};
+
+/// sim::run_rendezvous over every lane of a Halt-policy batch, lockstep:
+/// one adversary decision per live lane per round, each lane retiring
+/// independently (met / budget or step guard exhausted / all routes ended)
+/// with swap-compaction of the live set so finished lanes cost nothing.
+/// Lane L's result sequence is exactly what run_rendezvous(engine_L,
+/// adv_L, budget_L, max_steps_L) produces on a scalar engine — lanes are
+/// independent, so the round-robin interleaving is unobservable.
+std::vector<RendezvousResult> run_rendezvous_batch(
+    BatchEngine& engine, const std::vector<BatchLaneDriver>& lanes);
+
+// ---------------------------------------------------------------------------
+// EngineView accessors (declared in sim/adversary.h). Inline here — the
+// scalar branch must stay as cheap as the direct SimEngine calls the
+// adversaries made before batching existed; an out-of-line hop per probe
+// would tax every scalar schedule. TUs that implement adversaries include
+// this header for the definitions.
+
+inline int EngineView::agent_count() const {
+  return engine_ ? engine_->agent_count() : batch_->agent_count(lane_);
+}
+inline bool EngineView::awake(int idx) const {
+  return engine_ ? engine_->awake(idx) : batch_->awake(lane_, idx);
+}
+inline bool EngineView::route_ended(int idx) const {
+  return engine_ ? engine_->route_ended(idx) : batch_->route_ended(lane_, idx);
+}
+inline bool EngineView::mid_edge(int idx) const {
+  return engine_ ? engine_->mid_edge(idx) : batch_->mid_edge(lane_, idx);
+}
+inline std::uint64_t EngineView::completed_traversals(int idx) const {
+  return engine_ ? engine_->completed_traversals(idx)
+                 : batch_->completed_traversals(lane_, idx);
+}
+inline std::uint64_t EngineView::charged_traversals(int idx) const {
+  return engine_ ? engine_->charged_traversals(idx)
+                 : batch_->charged_traversals(lane_, idx);
+}
+inline bool EngineView::would_meet_within_edge(int idx,
+                                               std::int64_t delta) const {
+  return engine_ ? engine_->would_meet_within_edge(idx, delta)
+                 : batch_->would_meet_within_edge(lane_, idx, delta);
+}
+
+}  // namespace sim
+}  // namespace asyncrv

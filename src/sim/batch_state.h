@@ -1,0 +1,134 @@
+// Structure-of-arrays state for the batched lockstep engine.
+//
+// A BatchEngine (sim/batch_engine.h) advances B independent scenarios —
+// "lanes" — in lockstep. Where SimEngine keeps one AgentState struct per
+// agent (pointer-rich: a std::function source, a std::optional<Move>, a
+// pull ring), the batch stores every field of every (lane, agent) pair in
+// one flat array per field, so the inner loop of a sweep touches a handful
+// of contiguous arrays instead of B scattered object graphs. Lanes are
+// contiguous blocks of the agent arrays: lane L's agents occupy slots
+// [lane_first[L], lane_first[L] + lane_agents[L]).
+//
+// Routes are split by mutability, mirroring SimEngine's EndPolicy split:
+//
+//  * shared routes — fixed move sequences (the rendezvous model), interned
+//    in a RouteTable and materialized lazily, once, however many lanes walk
+//    them. A lane-agent holds just a (route id, cursor) pair of flat
+//    integers. This is where batched sweeps win: a 1024-cell adversary
+//    ablation walks 2 distinct routes, not 2048 coroutine re-generations.
+//  * private sources — per-agent MoveSource closures for dynamic routes
+//    (Retry agents whose next move depends on events). Kept out of the hot
+//    arrays; only touched when an agent actually needs a new move.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/position.h"
+
+namespace asyncrv::sim {
+
+/// Sentinel route id: "this agent pulls from its private MoveSource".
+inline constexpr std::uint32_t kNoRoute = 0xffffffffu;
+
+/// Sentinel edge id: "cur_eid not computed yet" (lazy CSR lookup).
+inline constexpr std::uint32_t kNoEdgeId = 0xffffffffu;
+
+/// Interned fixed move sequences, shared across lanes and materialized
+/// lazily: move_at(r, i) generates route r up to index i on first demand
+/// and serves every later reader from the memoized prefix. Suitable only
+/// for routes that are pure sequences (Sticky semantics) — a generator
+/// must not depend on simulation events.
+class RouteTable {
+ public:
+  /// Interns a generator; returns the route id.
+  std::uint32_t add(MoveSource gen) {
+    routes_.push_back({std::move(gen), {}, false});
+    return static_cast<std::uint32_t>(routes_.size()) - 1;
+  }
+
+  /// The i-th move of route r, generating forward as needed; nullopt once
+  /// the route is exhausted before index i.
+  std::optional<Move> move_at(std::uint32_t r, std::uint32_t i) {
+    SharedRoute& route = routes_[r];
+    while (!route.done && route.moves.size() <= i) {
+      auto m = route.gen();
+      if (!m) {
+        route.done = true;
+        break;
+      }
+      route.moves.push_back(*m);
+    }
+    if (i < route.moves.size()) return route.moves[i];
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return routes_.size(); }
+
+ private:
+  struct SharedRoute {
+    MoveSource gen;
+    std::vector<Move> moves;  ///< materialized prefix
+    bool done = false;        ///< gen returned nullopt; moves is the whole route
+  };
+  std::vector<SharedRoute> routes_;
+};
+
+/// Registration record for one agent of one lane (cf. EngineAgentSpec).
+/// Exactly one of `route` / `source` is the move supply: route != kNoRoute
+/// selects a shared RouteTable sequence, otherwise `source` is pulled.
+struct BatchAgentSpec {
+  std::uint32_t route = kNoRoute;
+  MoveSource source;  ///< used only when route == kNoRoute
+  Node start = 0;
+  bool awake = true;
+  EndPolicy end_policy = EndPolicy::Sticky;
+};
+
+/// Registration record for one lane — one independent scenario.
+struct BatchLaneSpec {
+  GraphHandle graph;  ///< interned handle (share across lanes via GraphCache)
+  MeetingPolicy policy = MeetingPolicy::Halt;
+  EventSink* sink = nullptr;  ///< per-lane; agent indices are lane-local
+  std::vector<BatchAgentSpec> agents;
+};
+
+/// The flat arrays. Field-for-field this is SimEngine::AgentState (and the
+/// per-engine met/meeting flags) transposed: one array per field, agents of
+/// one lane contiguous. POD arrays only on the sweep path; closures and
+/// handles live in side arrays that sweeps never touch.
+struct BatchState {
+  // --- per lane ---------------------------------------------------------
+  std::vector<GraphHandle> lane_graph;
+  std::vector<MeetingPolicy> lane_policy;
+  std::vector<EventSink*> lane_sink;
+  std::vector<std::uint32_t> lane_first;   ///< first agent slot of the lane
+  std::vector<std::uint32_t> lane_agents;  ///< agent count of the lane
+  std::vector<std::uint8_t> lane_met;
+  std::vector<Pos> lane_meeting;
+
+  // --- per (lane, agent), slot = lane_first[L] + i -----------------------
+  std::vector<std::uint8_t> has_cur;  ///< mid-edge? (AgentState::cur.has_value)
+  std::vector<Move> cur;              ///< current traversal, valid when has_cur
+  std::vector<std::int64_t> prog;     ///< progress along cur, [0, kEdgeUnits]
+  std::vector<Node> at;               ///< current node, valid when !has_cur
+  /// Canonical edge id of cur, kNoEdgeId until some sweep actually needs
+  /// it — most traversals never do, so the CSR lookup is skipped entirely.
+  /// Mutable: the id is a memoized pure function of cur, and const probes
+  /// (position, would_meet_within_edge) may be the first to need it.
+  mutable std::vector<std::uint32_t> cur_eid;
+  std::vector<std::uint64_t> completed;
+  std::vector<std::uint8_t> awake;
+  std::vector<std::uint8_t> ended;
+  std::vector<EndPolicy> end_policy;
+  std::vector<std::uint32_t> route;   ///< shared route id, or kNoRoute
+  std::vector<std::uint32_t> cursor;  ///< next move index on the shared route
+  std::vector<MoveSource> source;     ///< private supply when route == kNoRoute
+
+  std::size_t lanes() const { return lane_graph.size(); }
+  std::size_t slots() const { return prog.size(); }
+};
+
+}  // namespace asyncrv::sim

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/batch_engine.h"  // inline EngineView accessor definitions
 #include "util/check.h"
 
 namespace asyncrv {
@@ -32,7 +33,7 @@ Schedule Schedule::from_text(const std::string& text, int agent_count) {
   return sched;
 }
 
-AdvStep ReplayAdversary::next(const sim::SimEngine& engine) {
+AdvStep ReplayAdversary::next(const sim::EngineView& engine) {
   if (idx_ < schedule_.steps.size()) return schedule_.steps[idx_++];
   fallback_turn_ = (fallback_turn_ + 1) % engine.agent_count();
   return {first_movable(engine, fallback_turn_), kEdgeUnits};

@@ -36,7 +36,7 @@ class RecordingAdversary final : public Adversary {
   RecordingAdversary(std::unique_ptr<Adversary> inner, Schedule* schedule)
       : inner_(std::move(inner)), schedule_(schedule) {}
 
-  AdvStep next(const sim::SimEngine& engine) override {
+  AdvStep next(const sim::EngineView& engine) override {
     const AdvStep s = inner_->next(engine);
     schedule_->steps.push_back(s);
     return s;
@@ -55,7 +55,7 @@ class ReplayAdversary final : public Adversary {
  public:
   explicit ReplayAdversary(Schedule schedule) : schedule_(std::move(schedule)) {}
 
-  AdvStep next(const sim::SimEngine& engine) override;
+  AdvStep next(const sim::EngineView& engine) override;
   std::string name() const override { return "replay"; }
 
  private:

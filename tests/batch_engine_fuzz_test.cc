@@ -1,0 +1,334 @@
+// Differential fuzz of the batched lockstep engine (DESIGN.md §8).
+//
+// Every lane of a BatchEngine must be observably identical to a private
+// scalar SimEngine running the same scenario move-for-move: advance return
+// values, positions, wake flags, route ends, traversal counts, met state,
+// meeting points, would_meet_within_edge probes and the full event stream.
+// Batches are deliberately mixed — N in {2..6}, Halt and Continue lanes,
+// Sticky and Retry agents, heterogeneous topologies side by side, shared
+// RouteTable routes next to private sources, lanes retiring mid-batch
+// while the rest keep stepping — because lane independence is the whole
+// bit-identity argument: nothing one lane does may leak into another.
+//
+// The lockstep driver (run_rendezvous_batch) is additionally checked
+// against sim::run_rendezvous field-for-field, adversary battery included.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/builders.h"
+#include "runner/registry.h"
+#include "sim/batch_engine.h"
+#include "sim/engine.h"
+#include "util/prng.h"
+
+namespace asyncrv {
+namespace {
+
+/// A deterministic scripted move source over a fixed port list.
+sim::MoveSource scripted(const Graph& g, Node start,
+                         const std::vector<Port>& ports) {
+  struct State {
+    Node at;
+    std::size_t next = 0;
+  };
+  auto st = std::make_shared<State>(State{start});
+  auto plist = std::make_shared<std::vector<Port>>(ports);
+  return [&g, st, plist]() -> std::optional<Move> {
+    if (st->next >= plist->size()) return std::nullopt;
+    const Port p = (*plist)[st->next++];
+    const Graph::Half h = g.step(st->at, p);
+    Move m{st->at, h.to, p, h.port_at_to};
+    st->at = h.to;
+    return m;
+  };
+}
+
+struct Event {
+  bool wake = false;
+  int who = -1;
+  std::vector<int> others;
+
+  bool operator==(const Event& o) const {
+    return wake == o.wake && who == o.who && others == o.others;
+  }
+};
+
+struct RecordingSink final : sim::EventSink {
+  std::vector<Event> events;
+  void on_wake(int agent) override { events.push_back({true, agent, {}}); }
+  void on_meeting(int mover, const std::vector<int>& others) override {
+    events.push_back({false, mover, others});
+  }
+};
+
+GraphHandle scenario_graph(Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:
+      return std::make_shared<const Graph>(
+          make_ring(static_cast<Node>(rng.between(4, 12))));
+    case 1:
+      return std::make_shared<const Graph>(
+          make_path(static_cast<Node>(rng.between(3, 9))));
+    case 2:
+      return std::make_shared<const Graph>(
+          make_complete(static_cast<Node>(rng.between(4, 6))));
+    case 3:
+      return std::make_shared<const Graph>(make_petersen());
+    case 4:
+      return std::make_shared<const Graph>(make_torus(3, 3));
+    default:
+      return std::make_shared<const Graph>(make_random_connected(
+          static_cast<Node>(rng.between(5, 9)), 3, rng.next()));
+  }
+}
+
+/// One lane's scenario: everything needed to build the lane AND its scalar
+/// oracle from the same data.
+struct LaneConfig {
+  GraphHandle graph;
+  sim::MeetingPolicy policy = sim::MeetingPolicy::Halt;
+  std::vector<Node> starts;
+  std::vector<std::vector<Port>> scripts;
+  std::vector<bool> start_awake;
+  std::vector<sim::EndPolicy> ends;
+  bool shared_routes = false;  ///< supply agents through the RouteTable
+  int n() const { return static_cast<int>(starts.size()); }
+};
+
+LaneConfig random_lane(Rng& rng) {
+  LaneConfig cfg;
+  cfg.graph = scenario_graph(rng);
+  const Graph& g = *cfg.graph;
+  int n = static_cast<int>(rng.between(2, 6));
+  if (static_cast<Node>(n) > g.size()) n = static_cast<int>(g.size());
+  cfg.policy = rng.chance(1, 2) ? sim::MeetingPolicy::Halt
+                                : sim::MeetingPolicy::Continue;
+  std::vector<Node> starts;
+  for (Node v = 0; v < g.size(); ++v) starts.push_back(v);
+  for (std::size_t i = starts.size(); i > 1; --i) {
+    std::swap(starts[i - 1], starts[rng.below(i)]);
+  }
+  for (int i = 0; i < n; ++i) {
+    const Node at0 = starts[static_cast<std::size_t>(i)];
+    cfg.starts.push_back(at0);
+    std::vector<Port> ports;
+    Node at = at0;
+    const std::size_t len = rng.between(0, 40);
+    for (std::size_t k = 0; k < len; ++k) {
+      const Port p = static_cast<Port>(
+          rng.below(static_cast<std::uint64_t>(g.degree(at))));
+      ports.push_back(p);
+      at = g.step(at, p).to;
+    }
+    cfg.scripts.push_back(std::move(ports));
+    cfg.start_awake.push_back(i == 0 || rng.chance(2, 3));
+    cfg.ends.push_back(rng.chance(1, 2) ? sim::EndPolicy::Sticky
+                                        : sim::EndPolicy::Retry);
+  }
+  cfg.shared_routes = rng.chance(1, 2);
+  return cfg;
+}
+
+/// Adds cfg as a batch lane; `reuse_routes` (same length as agents, or
+/// empty) recycles route ids of an earlier identical lane — the shared-
+/// materialization path two lanes walking one route exercise.
+std::vector<std::uint32_t> add_batch_lane(sim::BatchEngine& batch,
+                                          const LaneConfig& cfg,
+                                          sim::EventSink* sink,
+                                          const std::vector<std::uint32_t>&
+                                              reuse_routes) {
+  std::vector<std::uint32_t> route_ids;
+  sim::BatchLaneSpec spec;
+  spec.graph = cfg.graph;
+  spec.policy = cfg.policy;
+  spec.sink = sink;
+  for (int i = 0; i < cfg.n(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    sim::BatchAgentSpec a;
+    a.start = cfg.starts[k];
+    a.awake = cfg.start_awake[k];
+    a.end_policy = cfg.ends[k];
+    if (cfg.shared_routes) {
+      a.route = reuse_routes.empty()
+                    ? batch.routes().add(
+                          scripted(*cfg.graph, cfg.starts[k], cfg.scripts[k]))
+                    : reuse_routes[k];
+      route_ids.push_back(a.route);
+    } else {
+      a.source = scripted(*cfg.graph, cfg.starts[k], cfg.scripts[k]);
+    }
+    spec.agents.push_back(std::move(a));
+  }
+  batch.add_lane(std::move(spec));
+  return route_ids;
+}
+
+std::unique_ptr<sim::SimEngine> make_oracle(const LaneConfig& cfg,
+                                            sim::EventSink* sink) {
+  auto engine = std::make_unique<sim::SimEngine>(*cfg.graph, cfg.policy, sink);
+  for (int i = 0; i < cfg.n(); ++i) {
+    const std::size_t k = static_cast<std::size_t>(i);
+    engine->add_agent({scripted(*cfg.graph, cfg.starts[k], cfg.scripts[k]),
+                       cfg.starts[k], cfg.start_awake[k], cfg.ends[k]});
+  }
+  return engine;
+}
+
+/// One randomized mixed batch, driven against per-lane scalar oracles.
+void run_batch_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  const int n_lanes = static_cast<int>(rng.between(2, 6));
+
+  sim::BatchEngine batch;
+  std::vector<LaneConfig> cfgs;
+  std::vector<std::unique_ptr<RecordingSink>> batch_sinks, oracle_sinks;
+  std::vector<std::unique_ptr<sim::SimEngine>> oracles;
+
+  for (int l = 0; l < n_lanes; ++l) {
+    LaneConfig cfg = random_lane(rng);
+    batch_sinks.push_back(std::make_unique<RecordingSink>());
+    const std::vector<std::uint32_t> routes =
+        add_batch_lane(batch, cfg, batch_sinks.back().get(), {});
+    oracle_sinks.push_back(std::make_unique<RecordingSink>());
+    oracles.push_back(make_oracle(cfg, oracle_sinks.back().get()));
+    cfgs.push_back(cfg);
+    if (!routes.empty() && rng.chance(1, 3)) {
+      // Twin lane: identical scenario, SAME route ids — both lanes walk
+      // one materialized route. Its oracle is a fully private engine.
+      batch_sinks.push_back(std::make_unique<RecordingSink>());
+      add_batch_lane(batch, cfg, batch_sinks.back().get(), routes);
+      oracle_sinks.push_back(std::make_unique<RecordingSink>());
+      oracles.push_back(make_oracle(cfg, oracle_sinks.back().get()));
+      cfgs.push_back(std::move(cfg));
+    }
+  }
+  const int lanes = batch.lane_count();
+  ASSERT_EQ(lanes, static_cast<int>(oracles.size()));
+
+  const int steps = static_cast<int>(rng.between(40, 100));
+  for (int step = 0; step < steps; ++step) {
+    const int lane = static_cast<int>(rng.below(static_cast<std::uint64_t>(lanes)));
+    sim::SimEngine& oracle = *oracles[static_cast<std::size_t>(lane)];
+    const int n = cfgs[static_cast<std::size_t>(lane)].n();
+    const int agent = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (rng.chance(1, 12)) {
+      batch.wake(lane, agent);
+      oracle.wake(agent);
+    }
+    std::int64_t delta;
+    if (rng.chance(1, 4)) {
+      delta = -static_cast<std::int64_t>(rng.between(1, kEdgeUnits));
+    } else {
+      delta = static_cast<std::int64_t>(rng.between(1, 3 * kEdgeUnits));
+    }
+    // Peek probes must agree before the move is committed.
+    const std::int64_t probe =
+        static_cast<std::int64_t>(rng.between(1, kEdgeUnits));
+    ASSERT_EQ(batch.would_meet_within_edge(lane, agent, probe),
+              oracle.would_meet_within_edge(agent, probe))
+        << "seed " << seed << " step " << step << " lane " << lane;
+
+    ASSERT_EQ(batch.advance(lane, agent, delta), oracle.advance(agent, delta))
+        << "seed " << seed << " step " << step << " lane " << lane;
+
+    ASSERT_EQ(batch.met(lane), oracle.met()) << "seed " << seed;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(batch.position(lane, i) == oracle.position(i))
+          << "seed " << seed << " step " << step << " lane " << lane
+          << " agent " << i;
+      ASSERT_EQ(batch.awake(lane, i), oracle.awake(i)) << "seed " << seed;
+      ASSERT_EQ(batch.route_ended(lane, i), oracle.route_ended(i))
+          << "seed " << seed;
+      ASSERT_EQ(batch.charged_traversals(lane, i),
+                oracle.charged_traversals(i))
+          << "seed " << seed;
+      ASSERT_EQ(batch.completed_traversals(lane, i),
+                oracle.completed_traversals(i))
+          << "seed " << seed;
+    }
+    if (batch.met(lane)) {
+      ASSERT_TRUE(batch.meeting_point(lane) == oracle.meeting_point())
+          << "seed " << seed << " lane " << lane;
+    }
+  }
+
+  for (int l = 0; l < lanes; ++l) {
+    const auto& got = batch_sinks[static_cast<std::size_t>(l)]->events;
+    const auto& want = oracle_sinks[static_cast<std::size_t>(l)]->events;
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed << " lane " << l;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i] == want[i])
+          << "seed " << seed << " lane " << l << " event " << i;
+    }
+  }
+}
+
+TEST(BatchEngineFuzz, MixedBatchesMatchScalarEnginesEventForEvent) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) run_batch_scenario(seed);
+}
+
+TEST(BatchEngineFuzz, LockstepRendezvousMatchesScalarRunLoop) {
+  // run_rendezvous_batch vs sim::run_rendezvous, field for field, across
+  // the adversary battery: lanes retire at different rounds (meetings,
+  // budget exhaustion, ended routes), so the live-set swap-compaction is
+  // exercised while later lanes keep running.
+  const std::vector<std::string> advs = adversary_battery_names();
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 131);
+    const int n_lanes = static_cast<int>(rng.between(3, 9));
+
+    sim::BatchEngine batch;
+    std::vector<LaneConfig> cfgs;
+    std::vector<std::unique_ptr<Adversary>> batch_advs;
+    std::vector<sim::BatchLaneDriver> drivers;
+    std::vector<RendezvousResult> want;
+
+    for (int l = 0; l < n_lanes; ++l) {
+      LaneConfig cfg = random_lane(rng);
+      // Rendezvous shape: 2 Sticky agents, Halt policy, both awake.
+      cfg.policy = sim::MeetingPolicy::Halt;
+      cfg.starts.resize(2);
+      cfg.scripts.resize(2);
+      cfg.start_awake.assign(2, true);
+      cfg.ends.assign(2, sim::EndPolicy::Sticky);
+      const std::string name = advs[rng.below(advs.size())];
+      const std::uint64_t adv_seed = rng.next();
+      const std::uint64_t budget = rng.between(4, 60);
+
+      add_batch_lane(batch, cfg, nullptr, {});
+      batch_advs.push_back(runner::make_adversary(name, adv_seed));
+      drivers.push_back({batch_advs.back().get(), budget, 0});
+
+      // Scalar oracle: fresh engine, fresh adversary with the same seed.
+      sim::SimEngine oracle(*cfg.graph, sim::MeetingPolicy::Halt);
+      for (int i = 0; i < 2; ++i) {
+        const std::size_t k = static_cast<std::size_t>(i);
+        oracle.add_agent({scripted(*cfg.graph, cfg.starts[k], cfg.scripts[k]),
+                          cfg.starts[k], true, sim::EndPolicy::Sticky});
+      }
+      const auto adv = runner::make_adversary(name, adv_seed);
+      want.push_back(sim::run_rendezvous(oracle, *adv, budget));
+      cfgs.push_back(std::move(cfg));
+    }
+
+    const std::vector<RendezvousResult> got =
+        sim::run_rendezvous_batch(batch, drivers);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t l = 0; l < got.size(); ++l) {
+      ASSERT_EQ(got[l].met, want[l].met) << "seed " << seed << " lane " << l;
+      ASSERT_TRUE(got[l].meeting_point == want[l].meeting_point)
+          << "seed " << seed << " lane " << l;
+      ASSERT_EQ(got[l].traversals_a, want[l].traversals_a)
+          << "seed " << seed << " lane " << l;
+      ASSERT_EQ(got[l].traversals_b, want[l].traversals_b)
+          << "seed " << seed << " lane " << l;
+      ASSERT_EQ(got[l].budget_exhausted, want[l].budget_exhausted)
+          << "seed " << seed << " lane " << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncrv
