@@ -24,22 +24,11 @@ int main(int argc, char** argv) {
   runner::banner("E9 (bench_adversaries)", "Adversary model ablation",
                  "meeting cost per adversary strategy, labels (9, 14)");
 
-  std::vector<runner::ExperimentSpec> specs;
-  for (const std::string& g : runner::small_catalog_ids()) {
-    for (const std::string& adv : adversary_battery_names()) {
-      runner::RendezvousSpec rv;
-      rv.graph = g;
-      rv.adversary = adv;
-      rv.labels = {9, 14};
-      rv.budget = 40'000'000;
-      // Reproduces the historical adversary_battery(0xE9) streams.
-      rv.seed = runner::battery_seed(adv, 0xE9);
-      specs.push_back({.name = "", .scenario = std::move(rv)});
-    }
-  }
-
+  // The shared E9 battery definition (runner/registry.h) — the same specs
+  // `rv_cli daemon sweep e9` submits, so daemon and batch runs fingerprint
+  // (and cache) identically.
   const runner::PipelineReport report =
-      runner::ExperimentPipeline(cli.options()).run(std::move(specs));
+      runner::ExperimentPipeline(cli.options()).run(runner::e9_battery());
 
   runner::ConsoleSink console;
   const runner::Pivot matrix =
@@ -59,8 +48,11 @@ int main(int argc, char** argv) {
               << " executed\n";
   }
   std::cout << "graphs: " << report.graph_stats.builds << " built, "
-            << report.graph_stats.hits
-            << " interned hits (one construction per distinct topology)\n";
+            << report.graph_stats.hits << " interned hits, "
+            << report.graph_stats.evictions << " evicted; resident "
+            << report.graph_stats.resident_bytes << " bytes (peak "
+            << report.graph_stats.resident_bytes_hwm
+            << ") — one construction per distinct topology\n";
   std::cout << "\nMeetings under every schedule — the guarantee is schedule-"
                "independent, the cost is not.\n";
   return report.totals.errored == 0 ? 0 : 1;

@@ -34,14 +34,37 @@
 // it to demonstrate the bit-identical replay, and reports any soundness
 // violations loudly. Searches cache like any other scenario: re-running
 // with --cache-dir is instant.
+// The `daemon` command family talks to (or starts) the resident asyncrvd
+// service (src/service/, DESIGN.md §9) in a fluent verb style:
+//
+//   rv_cli daemon start [--socket S] [--cache-dir D] [--memory-cap B]
+//                       [--jobs N] [--foreground]
+//   rv_cli daemon status | ping | drain | stop | evict [bytes]
+//   rv_cli daemon run [family] [n] [label_a] [label_b] [adversary] [seed]
+//   rv_cli daemon sweep e9 [--jsonl <path>]
+//
+// `daemon run` assembles the SAME spec the local default mode would, so a
+// daemon with --cache-dir shares outcomes with batch runs byte-for-byte;
+// `daemon sweep e9` submits the shared E9 battery (runner::e9_battery) and
+// reports the daemon's end-line stats, including how many cells actually
+// executed — the second submission of a warm daemon reports executed=0.
+// The socket defaults to $ASYNCRVD_SOCKET, then /tmp/asyncrvd.sock.
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "graph/io.h"
 #include "runner/cli.h"
+#include "runner/encoding.h"
 #include "runner/registry.h"
 #include "search/objective.h"
+#include "service/client.h"
+#include "service/server.h"
 
 namespace {
 
@@ -177,10 +200,301 @@ int run_search_mode(runner::PipelineCli& cli,
   return replay.score == so.best_score ? 0 : 3;
 }
 
+// --- daemon command family ---------------------------------------------------
+
+service::Server* g_daemon = nullptr;
+void daemon_signal(int) {
+  if (g_daemon != nullptr) g_daemon->signal_drain();
+}
+
+std::string default_socket() {
+  const char* env = std::getenv("ASYNCRVD_SOCKET");
+  return env != nullptr ? env : "/tmp/asyncrvd.sock";
+}
+
+/// "<n>[k|m|g]" in bytes.
+std::optional<std::uint64_t> parse_byte_size(std::string s) {
+  std::uint64_t scale = 1;
+  if (!s.empty()) {
+    const char c = s.back();
+    if (c == 'k' || c == 'K') scale = 1ull << 10;
+    if (c == 'm' || c == 'M') scale = 1ull << 20;
+    if (c == 'g' || c == 'G') scale = 1ull << 30;
+    if (scale != 1) s.pop_back();
+  }
+  const auto v = runner::LineReader::parse_u64(s);
+  if (!v) return std::nullopt;
+  return *v * scale;
+}
+
+int daemon_usage() {
+  std::cerr
+      << "usage: rv_cli daemon <command> [--socket <path>]\n"
+      << "  start   [--cache-dir <dir>] [--memory-cap <bytes>] [--jobs <n>]\n"
+      << "          [--queue <n>] [--no-batch] [--foreground]\n"
+      << "  status | ping | drain | stop | evict [bytes]\n"
+      << "  run     [family] [n] [label_a] [label_b] [adversary] [seed]\n"
+      << "  sweep   e9 [--jsonl <path>]\n";
+  return 1;
+}
+
+/// Runs the server in this process (the child of `start`, or --foreground).
+int serve(const service::ServerOptions& options) {
+  service::Server server(options);
+  server.bind();
+  g_daemon = &server;
+  std::signal(SIGTERM, daemon_signal);
+  std::signal(SIGINT, daemon_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::cout << "asyncrvd listening on " << options.socket_path << std::endl;
+  const int rc = server.run();
+  g_daemon = nullptr;
+  return rc;
+}
+
+service::Client connect_or_die(const std::string& socket, int retry_ms = 0) {
+  service::Client client;
+  if (!client.connect(socket, retry_ms)) {
+    std::cerr << "error: " << client.last_error()
+              << " (is the daemon running? `rv_cli daemon start`)\n";
+    std::exit(1);
+  }
+  return client;
+}
+
+int run_daemon_mode(int argc, char** argv) {
+  std::vector<std::string> pos;
+  service::ServerOptions sopts;
+  sopts.socket_path = default_socket();
+  bool foreground = false;
+  std::string jsonl_path;
+  std::string command;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const auto byte_value = [&](std::uint64_t& out) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const auto parsed = parse_byte_size(v);
+      if (!parsed) return false;
+      out = *parsed;
+      return true;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return daemon_usage();
+      sopts.socket_path = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr) return daemon_usage();
+      sopts.cache_dir = v;
+    } else if (arg == "--memory-cap") {
+      if (!byte_value(sopts.memory_cap)) return daemon_usage();
+    } else if (arg == "--jobs") {
+      if (!byte_value(n) || n < 1 || n > 256) return daemon_usage();
+      sopts.jobs = static_cast<int>(n);
+    } else if (arg == "--queue") {
+      if (!byte_value(n) || n > 100000) return daemon_usage();
+      sopts.max_queue = static_cast<int>(n);
+    } else if (arg == "--request-threads") {
+      if (!byte_value(n) || n > 1024) return daemon_usage();
+      sopts.threads_per_job = static_cast<int>(n);
+    } else if (arg == "--no-batch") {
+      sopts.batch = false;
+    } else if (arg == "--foreground") {
+      foreground = true;
+    } else if (arg == "--jsonl") {
+      const char* v = value();
+      if (v == nullptr) return daemon_usage();
+      jsonl_path = v;
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (command.empty()) return daemon_usage();
+
+  if (command == "start") {
+    if (foreground) return serve(sopts);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "error: fork failed\n";
+      return 1;
+    }
+    if (pid == 0) {
+      // The daemon child. _exit keeps the parent's atexit/stdio state from
+      // being torn down twice.
+      try {
+        _exit(serve(sopts));
+      } catch (const std::exception& e) {
+        std::cerr << "asyncrvd: " << e.what() << "\n";
+        _exit(1);
+      }
+    }
+    service::Client probe;
+    if (!probe.connect(sopts.socket_path, /*retry_ms=*/5000) ||
+        !probe.ping()) {
+      std::cerr << "error: daemon did not come up on " << sopts.socket_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "daemon ready on " << sopts.socket_path << " (pid " << pid
+              << ")\n";
+    return 0;
+  }
+
+  if (command == "status") {
+    service::Client client = connect_or_die(sopts.socket_path);
+    const auto kv = client.status();
+    if (!kv) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    for (const auto& [key, val] : *kv) std::cout << key << "=" << val << "\n";
+    return 0;
+  }
+
+  if (command == "ping") {
+    service::Client client = connect_or_die(sopts.socket_path);
+    if (!client.ping()) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+
+  if (command == "evict") {
+    service::Client client = connect_or_die(sopts.socket_path);
+    std::optional<std::uint64_t> cap;
+    if (!pos.empty()) {
+      cap = parse_byte_size(pos[0]);
+      if (!cap) return daemon_usage();
+    }
+    const auto head = client.evict(cap);
+    if (!head || !head->ok) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << head->info << "\n";
+    return 0;
+  }
+
+  if (command == "drain") {
+    service::Client client = connect_or_die(sopts.socket_path);
+    if (!client.drain()) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << "drained\n";
+    return 0;
+  }
+
+  if (command == "stop") {
+    service::Client client = connect_or_die(sopts.socket_path);
+    if (!client.shutdown()) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << "shutting down\n";
+    return 0;
+  }
+
+  if (command == "run") {
+    // The same spec the local default mode assembles, submitted remotely —
+    // a daemon with --cache-dir therefore shares outcomes with batch runs.
+    if (pos.size() > 6) return daemon_usage();
+    runner::RendezvousSpec rv;
+    const std::string family = !pos.empty() ? pos[0] : "ring";
+    const long n_arg = pos.size() > 1 ? std::stol(pos[1]) : 6;
+    if (n_arg < 2 || n_arg > 100000) {
+      std::cerr << "error: graph size must be in [2, 100000]\n";
+      return 1;
+    }
+    rv.graph = family_graph_id(family, static_cast<Node>(n_arg));
+    rv.labels = {pos.size() > 2 ? std::stoull(pos[2]) : 5,
+                 pos.size() > 3 ? std::stoull(pos[3]) : 12};
+    rv.adversary = pos.size() > 4 ? pos[4] : "random";
+    rv.seed = pos.size() > 5 ? std::stoull(pos[5]) : 42;
+    rv.budget = 50'000'000;
+    rv.record_schedule = true;
+    const Graph g = runner::make_graph(rv.graph);
+    rv.starts = {0, g.size() - 1};
+    const runner::ExperimentSpec spec{.name = "", .scenario = rv};
+    std::cout << "fingerprint: " << spec.fingerprint().hex() << "\n";
+
+    service::Client client = connect_or_die(sopts.socket_path);
+    const auto stats = client.run(
+        spec, [](const std::string& row) { std::cout << row << "\n"; });
+    if (!stats) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << stats->scenarios << " scenarios: ok=" << stats->ok
+              << " unresolved=" << stats->unresolved
+              << " errors=" << stats->errors
+              << ", cache_hits=" << stats->cache_hits
+              << " executed=" << stats->executed << "\n";
+    return stats->errors == 0 ? 0 : 2;
+  }
+
+  if (command == "sweep") {
+    if (pos.empty() || pos[0] != "e9") {
+      std::cerr << "error: the named sweeps are: e9\n";
+      return daemon_usage();
+    }
+    const std::vector<runner::ExperimentSpec> specs = runner::e9_battery();
+    std::ofstream jsonl;
+    if (!jsonl_path.empty()) {
+      jsonl.open(jsonl_path);
+      if (!jsonl) {
+        std::cerr << "error: cannot write " << jsonl_path << "\n";
+        return 1;
+      }
+    }
+    service::Client client = connect_or_die(sopts.socket_path);
+    std::uint64_t rows = 0;
+    const auto stats = client.sweep(specs, [&](const std::string& row) {
+      ++rows;
+      if (jsonl.is_open()) jsonl << row << "\n";
+    });
+    if (!stats) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << "e9: " << stats->scenarios << " scenarios (" << rows
+              << " rows): ok=" << stats->ok
+              << " unresolved=" << stats->unresolved
+              << " errors=" << stats->errors
+              << ", cache_hits=" << stats->cache_hits
+              << " executed=" << stats->executed
+              << " batched=" << stats->batched << "\n";
+    return stats->errors == 0 ? 0 : 2;
+  }
+
+  std::cerr << "error: unknown daemon command: " << command << "\n";
+  return daemon_usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace asyncrv;
+  // The daemon family has its own flag set — route it before PipelineCli
+  // can claim --cache-dir and friends.
+  if (argc > 1 && std::string(argv[1]) == "daemon") {
+    try {
+      return run_daemon_mode(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   try {
     runner::PipelineCli cli;
     const std::vector<std::string> args = cli.parse(argc, argv);

@@ -1,11 +1,12 @@
 #include "runner/cache.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
-#include <limits>
 #include <sstream>
 
 #include "runner/encoding.h"
@@ -37,76 +38,9 @@ void encode_list(std::ostream& os, const char* key, const std::vector<T>& v) {
   os << '\n';
 }
 
-// --- line-oriented reader with strict key matching --------------------------
-
-class Reader {
- public:
-  explicit Reader(const std::string& bytes) : in_(bytes) {}
-
-  /// Next line verbatim; fails permanently at EOF.
-  std::optional<std::string> line() {
-    std::string l;
-    if (!std::getline(in_, l)) return std::nullopt;
-    return l;
-  }
-
-  /// A "key=value" line with exactly this key; nullopt otherwise.
-  std::optional<std::string> field(const std::string& key) {
-    const auto l = line();
-    if (!l) return std::nullopt;
-    if (l->rfind(key + "=", 0) != 0) return std::nullopt;
-    return l->substr(key.size() + 1);
-  }
-
-  std::optional<std::uint64_t> u64(const std::string& key) {
-    const auto v = field(key);
-    if (!v) return std::nullopt;
-    return parse_u64(*v);
-  }
-
-  std::optional<bool> flag(const std::string& key) {
-    const auto v = field(key);
-    if (!v || (*v != "0" && *v != "1")) return std::nullopt;
-    return *v == "1";
-  }
-
-  static std::optional<std::uint64_t> parse_u64(const std::string& s) {
-    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
-      return std::nullopt;
-    }
-    try {
-      return std::stoull(s);
-    } catch (const std::exception&) {
-      return std::nullopt;
-    }
-  }
-
-  static std::optional<std::int64_t> parse_i64(const std::string& s) {
-    const bool neg = !s.empty() && s[0] == '-';
-    const auto mag = parse_u64(neg ? s.substr(1) : s);
-    if (!mag || *mag > static_cast<std::uint64_t>(
-                           std::numeric_limits<std::int64_t>::max())) {
-      return std::nullopt;
-    }
-    const auto v = static_cast<std::int64_t>(*mag);
-    return neg ? -v : v;
-  }
-
-  static std::optional<std::vector<std::uint64_t>> u64_list(
-      const std::string& s) {
-    std::vector<std::uint64_t> out;
-    if (s.empty()) return out;
-    for (const std::string& part : split(s, ',')) {
-      const auto v = parse_u64(part);
-      if (!v) return std::nullopt;
-      out.push_back(*v);
-    }
-    return out;
-  }
-
- private:
-  std::istringstream in_;
-};
+// The strict line-oriented reader lives in runner/encoding.h (LineReader),
+// shared with the canonical-spec parser and the service protocol.
+using Reader = LineReader;
 
 std::optional<Pos> decode_pos(const std::string& v) {
   const auto parts = split(v, ':');
@@ -419,20 +353,47 @@ void SweepCache::store(const ExperimentSpec& spec,
     const std::string tmp_path = final_path + ".tmp." +
                                  std::to_string(::getpid()) + "." +
                                  std::to_string(counter.fetch_add(1));
-    {
-      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-      if (!out) return;
-      out << encode_outcome(spec, outcome, format_version_);
-      if (!out.good()) {
-        out.close();
-        std::error_code ec;
-        std::filesystem::remove(tmp_path, ec);
-        return;
+    const std::string bytes = encode_outcome(spec, outcome, format_version_);
+    // Raw POSIX writes so the temp file can be fsync'd BEFORE the rename:
+    // rename is atomic against concurrent readers but not against power
+    // loss — without the fsync a crash after the rename commits can leave
+    // a zero-length (or partial) file under the final name. A truncated
+    // entry still only degrades to a miss (decode_outcome's strict
+    // trailer), but the fsync keeps committed entries actually durable.
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return;
+    const char* p = bytes.data();
+    std::size_t left = bytes.size();
+    bool write_ok = true;
+    while (left > 0) {
+      const ::ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        write_ok = false;
+        break;
       }
+      p += n;
+      left -= static_cast<std::size_t>(n);
     }
+    if (write_ok && ::fsync(fd) != 0) write_ok = false;
+    ::close(fd);
     std::error_code ec;
+    if (!write_ok) {
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
     std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) std::filesystem::remove(tmp_path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+    // And the directory entry itself, so the rename survives a crash too.
+    const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
   } catch (const std::exception&) {
     // Best-effort: a cache that cannot write is just a cache that misses.
   }

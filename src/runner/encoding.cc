@@ -1,5 +1,7 @@
 #include "runner/encoding.h"
 
+#include <limits>
+
 namespace asyncrv::runner {
 
 std::string percent_escape(const std::string& s) {
@@ -56,6 +58,40 @@ std::vector<std::string> split(const std::string& s, char sep) {
     begin = end + 1;
   }
   return parts;
+}
+
+std::optional<std::uint64_t> LineReader::parse_u64(const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> LineReader::parse_i64(const std::string& s) {
+  const bool neg = !s.empty() && s[0] == '-';
+  const auto mag = parse_u64(neg ? s.substr(1) : s);
+  if (!mag || *mag > static_cast<std::uint64_t>(
+                         std::numeric_limits<std::int64_t>::max())) {
+    return std::nullopt;
+  }
+  const auto v = static_cast<std::int64_t>(*mag);
+  return neg ? -v : v;
+}
+
+std::optional<std::vector<std::uint64_t>> LineReader::u64_list(
+    const std::string& s) {
+  std::vector<std::uint64_t> out;
+  if (s.empty()) return out;
+  for (const std::string& part : split(s, ',')) {
+    const auto v = parse_u64(part);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
 }
 
 }  // namespace asyncrv::runner

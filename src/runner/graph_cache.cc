@@ -21,13 +21,17 @@ GraphHandle GraphCache::resolve(const std::string& id) {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.lookups;
       ++stats_.hits;
+      // Touch for LRU — unless a concurrent evict/clear already removed
+      // the entry (the handle stays servable either way).
+      if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
       return entry->graph;
     }
     {
       // Unbuilt entry: either we created it just now, or we waited on a
-      // builder that failed and discarded it (or a concurrent clear()).
-      // Only the entry still registered in the map may be built into —
-      // anything else restarts the resolve so accounting stays exact.
+      // builder that failed and discarded it (or a concurrent clear() or
+      // eviction). Only the entry still registered in the map may be built
+      // into — anything else restarts the resolve so accounting stays
+      // exact.
       const std::lock_guard<std::mutex> lock(mutex_);
       auto it = entries_.find(id);
       if (it == entries_.end() || it->second != entry) continue;
@@ -41,8 +45,14 @@ GraphHandle GraphCache::resolve(const std::string& id) {
       if (it != entries_.end() && it->second == entry) {
         // Still the registered entry: intern and account for residency.
         entry->graph = std::move(built);
+        lru_.push_front(id);
+        entry->lru_it = lru_.begin();
+        entry->in_lru = true;
         ++stats_.resident_graphs;
         stats_.resident_bytes += entry->graph->memory_bytes();
+        if (stats_.resident_bytes > stats_.resident_bytes_hwm) {
+          stats_.resident_bytes_hwm = stats_.resident_bytes;
+        }
         return entry->graph;
       }
       // A concurrent clear() discarded the entry mid-build: hand this
@@ -61,6 +71,43 @@ GraphHandle GraphCache::resolve(const std::string& id) {
   }
 }
 
+void GraphCache::evict_locked(
+    std::unordered_map<std::string, std::shared_ptr<Entry>>::iterator it) {
+  Entry& entry = *it->second;
+  stats_.resident_bytes -= entry.graph->memory_bytes();
+  --stats_.resident_graphs;
+  ++stats_.evictions;
+  lru_.erase(entry.lru_it);
+  entry.in_lru = false;
+  // Removing the map registration is what makes the next resolve rebuild
+  // (and makes any in-flight waiter on this entry restart cleanly — the
+  // same discipline clear() and failed builds use). The entry object
+  // itself stays alive as long as someone holds its shared_ptr.
+  entries_.erase(it);
+}
+
+bool GraphCache::evict(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second->graph || !it->second->in_lru) {
+    return false;  // unknown, or still building: nothing resident to drop
+  }
+  evict_locked(it);
+  return true;
+}
+
+std::uint64_t GraphCache::evict_until(std::uint64_t max_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t evicted = 0;
+  while (stats_.resident_bytes > max_bytes && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    // Every id on the LRU list is a registered, built entry by invariant.
+    evict_locked(it);
+    ++evicted;
+  }
+  return evicted;
+}
+
 GraphCache::Stats GraphCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -68,7 +115,9 @@ GraphCache::Stats GraphCache::stats() const {
 
 void GraphCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, entry] : entries_) entry->in_lru = false;
   entries_.clear();
+  lru_.clear();
   stats_ = Stats{};
 }
 

@@ -24,9 +24,19 @@
 // a sweep of S scenarios over T distinct topologies must show
 // builds == T and hits == S - T (runner/pipeline.h threads one cache
 // through all workers and snapshots the stats into its report).
+//
+// Eviction: a resident process (the asyncrvd daemon, src/service/) interns
+// graphs for its whole lifetime, so the cache also keeps least-recently-
+// used bookkeeping — resolve() touches an id, evict()/evict_until() drop
+// interned instances in LRU order to honor a memory cap. Eviction is safe
+// by shared ownership: outstanding handles stay valid, and the next
+// resolve of an evicted id simply rebuilds (exactly once, the normal
+// interning election). Stats gain `evictions` and a `resident_bytes_hwm`
+// high-water mark so reports can show both current and peak footprint.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,8 +52,10 @@ class GraphCache {
     std::uint64_t lookups = 0;  ///< resolve() calls that returned a handle
     std::uint64_t hits = 0;     ///< served an already-interned instance
     std::uint64_t builds = 0;   ///< constructions actually performed
+    std::uint64_t evictions = 0;        ///< instances dropped by evict*()
     std::uint64_t resident_graphs = 0;  ///< distinct interned instances
     std::uint64_t resident_bytes = 0;   ///< sum of Graph::memory_bytes()
+    std::uint64_t resident_bytes_hwm = 0;  ///< peak of resident_bytes
   };
 
   GraphCache() = default;
@@ -51,9 +63,22 @@ class GraphCache {
   GraphCache& operator=(const GraphCache&) = delete;
 
   /// The interned graph for this registry id, building it on first use.
-  /// Thread-safe; exactly one construction per id. Throws whatever
-  /// make_graph throws (std::logic_error on malformed/unknown ids).
+  /// Thread-safe; exactly one construction per id (and exactly one REbuild
+  /// per eviction, however many threads race the miss). Touches the id's
+  /// LRU position. Throws whatever make_graph throws (std::logic_error on
+  /// malformed/unknown ids).
   GraphHandle resolve(const std::string& id);
+
+  /// Drops the interned instance of this id, if one is resident. Returns
+  /// whether anything was evicted (an unknown or still-building id is not).
+  /// Outstanding handles stay valid; the next resolve rebuilds.
+  bool evict(const std::string& id);
+
+  /// Evicts least-recently-used instances until resident_bytes <=
+  /// `max_bytes` (0 = evict everything resident). Returns the number of
+  /// instances evicted. Instances mid-construction are not counted as
+  /// resident and are never evicted here.
+  std::uint64_t evict_until(std::uint64_t max_bytes);
 
   /// Counter snapshot (thread-safe).
   Stats stats() const;
@@ -66,10 +91,19 @@ class GraphCache {
   struct Entry {
     std::mutex build_mutex;
     GraphHandle graph;  ///< set exactly once, under build_mutex
+    /// Position in lru_ while interned (most recent at front); only valid
+    /// when in_lru (set when the build commits, cleared on evict/clear).
+    std::list<std::string>::iterator lru_it;
+    bool in_lru = false;
   };
+
+  /// Drops `it`'s interned instance (mutex_ held; entry must be in_lru).
+  void evict_locked(std::unordered_map<std::string,
+                                       std::shared_ptr<Entry>>::iterator it);
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  ///< interned ids, most recently used first
   Stats stats_;
 };
 

@@ -223,4 +223,21 @@ PPoly make_ppoly(const std::string& profile) {
   throw std::logic_error("unknown PPoly profile: " + profile);
 }
 
+std::vector<ExperimentSpec> e9_battery() {
+  std::vector<ExperimentSpec> specs;
+  for (const std::string& g : small_catalog_ids()) {
+    for (const std::string& adv : adversary_battery_names()) {
+      RendezvousSpec rv;
+      rv.graph = g;
+      rv.adversary = adv;
+      rv.labels = {9, 14};
+      rv.budget = 40'000'000;
+      // Reproduces the historical adversary_battery(0xE9) streams.
+      rv.seed = battery_seed(adv, 0xE9);
+      specs.push_back({.name = "", .scenario = std::move(rv)});
+    }
+  }
+  return specs;
+}
+
 }  // namespace asyncrv::runner

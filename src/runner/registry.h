@@ -20,6 +20,7 @@
 
 #include "explore/ppoly.h"
 #include "graph/graph.h"
+#include "runner/spec.h"
 #include "sim/adversary.h"
 
 namespace asyncrv::runner {
@@ -75,5 +76,12 @@ std::uint64_t battery_seed(const std::string& name, std::uint64_t base);
 
 /// The PPoly profile by name: "tiny" | "compact" | "standard".
 PPoly make_ppoly(const std::string& profile);
+
+/// The E9 adversary-ablation battery: the full small-catalog × adversary-
+/// battery cross product (170 cells, labels (9, 14), budget 40M, historical
+/// battery seeds). The single definition shared by bench_adversaries, the
+/// `rv_cli daemon sweep e9` client and the CI service-smoke job, so "the E9
+/// battery" fingerprints identically everywhere it is run.
+std::vector<ExperimentSpec> e9_battery();
 
 }  // namespace asyncrv::runner

@@ -159,6 +159,20 @@ void CsvSink::row(const Row& row) {
 
 void CsvSink::end() { os_->flush(); }
 
+std::string jsonl_line(const Schema& schema, const Row& row) {
+  ASYNCRV_CHECK(row.size() == schema.size());
+  std::string out = "{";
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c) out += ',';
+    out += '"';
+    out += json_escape(schema[c].name);
+    out += "\":";
+    out += json_value(row[c]);
+  }
+  out += "}\n";
+  return out;
+}
+
 // --- JsonlSink --------------------------------------------------------------
 
 JsonlSink::JsonlSink(const std::string& path) : file_(path), os_(&file_) {
@@ -168,15 +182,7 @@ JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
 void JsonlSink::begin(const Schema& schema) { schema_ = schema; }
 
-void JsonlSink::row(const Row& row) {
-  ASYNCRV_CHECK(row.size() == schema_.size());
-  *os_ << '{';
-  for (std::size_t c = 0; c < row.size(); ++c) {
-    if (c) *os_ << ',';
-    *os_ << '"' << json_escape(schema_[c].name) << "\":" << json_value(row[c]);
-  }
-  *os_ << "}\n";
-}
+void JsonlSink::row(const Row& row) { *os_ << jsonl_line(schema_, row); }
 
 void JsonlSink::end() { os_->flush(); }
 

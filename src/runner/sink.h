@@ -145,6 +145,13 @@ class CollectorSink final : public ResultSink {
   std::vector<Table> tables_;
 };
 
+/// The exact line (including the trailing '\n') JsonlSink writes for this
+/// row — the single definition of the JSONL row rendering, also used by
+/// the resident service (src/service/) to stream sweep rows over the wire,
+/// so a socket client's bytes can be byte-compared against a JSONL file of
+/// the same run.
+std::string jsonl_line(const Schema& schema, const Row& row);
+
 /// Sends one whole table through a sink: begin, every row, end.
 void emit(ResultSink& sink, const Schema& schema, const std::vector<Row>& rows);
 

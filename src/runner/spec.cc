@@ -145,6 +145,184 @@ std::string ExperimentSpec::canonical() const {
   return os.str();
 }
 
+namespace {
+
+// --- canonical-form parsing -------------------------------------------------
+//
+// One reader per kind, mirroring the canonicalize() writers above field for
+// field. The parsers may accept slightly non-canonical numerals ("07"); the
+// re-render check in spec_from_canonical rejects those wholesale, so the
+// exact-inverse contract never depends on parser strictness.
+
+std::optional<std::vector<Node>> node_list(const std::string& s) {
+  const auto raw = LineReader::u64_list(s);
+  if (!raw) return std::nullopt;
+  std::vector<Node> out;
+  out.reserve(raw->size());
+  for (const std::uint64_t v : *raw) {
+    if (v > 0xffffffffULL) return std::nullopt;
+    out.push_back(static_cast<Node>(v));
+  }
+  return out;
+}
+
+std::optional<std::string> unescaped_field(LineReader& in, const char* key) {
+  const auto v = in.field(key);
+  if (!v) return std::nullopt;
+  return percent_unescape(*v);
+}
+
+std::optional<RendezvousSpec> parse_rendezvous(LineReader& in) {
+  RendezvousSpec s;
+  const auto graph = unescaped_field(in, "graph");
+  const auto adversary = unescaped_field(in, "adversary");
+  const auto algo = in.field("algo");
+  if (!graph || !adversary || !algo) return std::nullopt;
+  s.graph = *graph;
+  s.adversary = *adversary;
+  if (*algo == "baseline") s.algo = RouteAlgo::Baseline;
+  else if (*algo == "rv-asynch-poly") s.algo = RouteAlgo::RvAsynchPoly;
+  else return std::nullopt;
+  const auto labels = in.field("labels");
+  const auto starts = in.field("starts");
+  if (!labels || !starts) return std::nullopt;
+  const auto label_list = LineReader::u64_list(*labels);
+  const auto start_list = node_list(*starts);
+  if (!label_list || !start_list) return std::nullopt;
+  s.labels = *label_list;
+  s.starts = *start_list;
+  const auto budget = in.u64("budget");
+  const auto seed = in.u64("seed");
+  const auto ppoly = unescaped_field(in, "ppoly");
+  const auto kit_seed = in.u64("kit_seed");
+  const auto record = in.flag("record_schedule");
+  if (!budget || !seed || !ppoly || !kit_seed || !record) return std::nullopt;
+  s.budget = *budget;
+  s.seed = *seed;
+  s.ppoly = *ppoly;
+  s.kit_seed = *kit_seed;
+  s.record_schedule = *record;
+  return s;
+}
+
+std::optional<SglSpec> parse_sgl(LineReader& in) {
+  SglSpec s;
+  const auto graph = unescaped_field(in, "graph");
+  const auto labels = in.field("labels");
+  const auto starts = in.field("starts");
+  if (!graph || !labels || !starts) return std::nullopt;
+  s.graph = *graph;
+  const auto label_list = LineReader::u64_list(*labels);
+  const auto start_list = node_list(*starts);
+  if (!label_list || !start_list) return std::nullopt;
+  s.labels = *label_list;
+  s.starts = *start_list;
+  const auto budget = in.u64("budget");
+  const auto seed = in.u64("seed");
+  const auto ppoly = unescaped_field(in, "ppoly");
+  const auto kit_seed = in.u64("kit_seed");
+  const auto robust = in.flag("robust_phase3");
+  const auto team_size = in.u64("team");
+  if (!budget || !seed || !ppoly || !kit_seed || !robust || !team_size ||
+      *team_size > 1'000'000) {
+    return std::nullopt;
+  }
+  s.budget = *budget;
+  s.seed = *seed;
+  s.ppoly = *ppoly;
+  s.kit_seed = *kit_seed;
+  s.robust_phase3 = *robust;
+  for (std::uint64_t i = 0; i < *team_size; ++i) {
+    const auto line = in.field("team." + std::to_string(i));
+    if (!line) return std::nullopt;
+    const auto parts = split(*line, ':');
+    if (parts.size() != 5) return std::nullopt;
+    const auto start = LineReader::parse_u64(parts[0]);
+    const auto label = LineReader::parse_u64(parts[1]);
+    const auto value = percent_unescape(parts[2]);
+    const auto wake = LineReader::parse_u64(parts[4]);
+    if (!start || *start > 0xffffffffULL || !label || !value || !wake ||
+        (parts[3] != "0" && parts[3] != "1")) {
+      return std::nullopt;
+    }
+    SglAgentSpec a;
+    a.start = static_cast<Node>(*start);
+    a.label = *label;
+    a.value = *value;
+    a.initially_awake = parts[3] == "1";
+    a.wake_after_units = *wake;
+    s.team.push_back(std::move(a));
+  }
+  return s;
+}
+
+std::optional<SearchSpec> parse_search(LineReader& in) {
+  SearchSpec s;
+  const auto graph = unescaped_field(in, "graph");
+  const auto objective = unescaped_field(in, "objective");
+  const auto optimizer = unescaped_field(in, "optimizer");
+  if (!graph || !objective || !optimizer) return std::nullopt;
+  s.graph = *graph;
+  s.objective = *objective;
+  s.optimizer = *optimizer;
+  const auto labels = in.field("labels");
+  const auto starts = in.field("starts");
+  if (!labels || !starts) return std::nullopt;
+  const auto label_list = LineReader::u64_list(*labels);
+  const auto start_list = node_list(*starts);
+  if (!label_list || !start_list) return std::nullopt;
+  s.labels = *label_list;
+  s.starts = *start_list;
+  const auto budget = in.u64("budget");
+  const auto evaluations = in.u64("evaluations");
+  const auto genome_len = in.u64("genome_len");
+  const auto seed = in.u64("seed");
+  const auto ppoly = unescaped_field(in, "ppoly");
+  const auto kit_seed = in.u64("kit_seed");
+  if (!budget || !evaluations || !genome_len || !seed || !ppoly || !kit_seed) {
+    return std::nullopt;
+  }
+  s.budget = *budget;
+  s.evaluations = *evaluations;
+  s.genome_len = *genome_len;
+  s.seed = *seed;
+  s.ppoly = *ppoly;
+  s.kit_seed = *kit_seed;
+  return s;
+}
+
+}  // namespace
+
+std::optional<ExperimentSpec> spec_from_canonical(const std::string& text) {
+  LineReader in(text);
+  const auto header = in.line();
+  if (!header || *header != kSpecVersion) return std::nullopt;
+  const auto kind = in.field("kind");
+  if (!kind) return std::nullopt;
+  ExperimentSpec out;
+  if (*kind == "rendezvous") {
+    auto s = parse_rendezvous(in);
+    if (!s) return std::nullopt;
+    out.scenario = std::move(*s);
+  } else if (*kind == "sgl") {
+    auto s = parse_sgl(in);
+    if (!s) return std::nullopt;
+    out.scenario = std::move(*s);
+  } else if (*kind == "search") {
+    auto s = parse_search(in);
+    if (!s) return std::nullopt;
+    out.scenario = std::move(*s);
+  } else {
+    return std::nullopt;
+  }
+  // Exact-inverse gate: anything the writers would not emit — trailing
+  // garbage, reordered fields, "07"-style numerals — re-renders differently
+  // and is rejected, so parse(text).fingerprint() can never drift from the
+  // fingerprint of an equal batch-built spec.
+  if (out.canonical() != text) return std::nullopt;
+  return out;
+}
+
 std::vector<ExperimentSpec> rendezvous_grid(
     const std::vector<std::string>& graph_ids,
     const std::vector<std::string>& adversaries,

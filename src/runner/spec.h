@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -151,6 +152,18 @@ struct ExperimentSpec {
   /// FNV-1a-128 of canonical() — the sweep-cache key.
   Fingerprint fingerprint() const { return fingerprint_bytes(canonical()); }
 };
+
+/// Parses a canonical serialization (ExperimentSpec::canonical()) back into
+/// a spec. Strict exact-inverse contract: returns a value if and only if
+/// `text == result.canonical()` — non-canonical variants (reordered fields,
+/// leading zeros, trailing bytes, wrong version) are rejected wholesale, so
+/// a parsed spec always fingerprints identically to the text it came from.
+/// This is how the resident service (src/service/) accepts requests: a
+/// client ships the canonical form over the wire and the daemon's runs are
+/// cache-compatible with batch runs of the same spec by construction. The
+/// display-only `name` is not part of the canonical form and comes back
+/// empty.
+std::optional<ExperimentSpec> spec_from_canonical(const std::string& text);
 
 /// Cross-product sweep builder: one rendezvous spec per graph × label pair
 /// × adversary. Seeds are derived per cell from `seed` (same derivation the

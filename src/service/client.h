@@ -1,0 +1,103 @@
+// Blocking client for the asyncrvd wire protocol (service/protocol.h) —
+// the library behind `rv_cli daemon ...` and the service tests. Thin by
+// design: it builds frames with the protocol.h builders, writes them to a
+// connected Unix socket, and parses response lines back; all experiment
+// semantics live on the daemon side.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/spec.h"
+
+namespace asyncrv::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to a daemon socket. `retry_ms` > 0 keeps retrying failed
+  /// attempts for that many milliseconds (20 ms apart) — the start-up
+  /// handshake of `rv_cli daemon start`, which races the daemon's bind.
+  bool connect(const std::string& socket_path, int retry_ms = 0);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// The head line of the last response ("ok ..." / "err ...") or the
+  /// transport failure, for diagnostics.
+  const std::string& last_error() const { return last_error_; }
+
+  /// The first response line of a raw request frame; nullopt on transport
+  /// failure. head.ok distinguishes "ok" from "err" lines.
+  struct Head {
+    bool ok = false;
+    std::string info;      ///< after "ok " (head line only)
+    std::string err_code;  ///< after "err "
+    std::string message;
+  };
+  std::optional<Head> request(const std::string& frame);
+
+  bool ping();
+
+  /// STATUS as a key -> value map; nullopt on failure.
+  std::optional<std::map<std::string, std::string>> status();
+
+  /// The daemon-side completion counters of a streamed job (the `end` line).
+  struct JobStats {
+    std::uint64_t scenarios = 0, ok = 0, unresolved = 0, errors = 0;
+    std::uint64_t cache_hits = 0, executed = 0, batched = 0;
+  };
+
+  /// Submits a sweep and streams its rows: `on_row` (optional) receives
+  /// each row's JSONL payload WITHOUT the trailing newline, in spec order —
+  /// append '\n' to reconstruct the exact JsonlSink file of the same run.
+  /// Returns the end-line stats, or nullopt on rejection/failure (see
+  /// last_error()).
+  std::optional<JobStats> sweep(
+      const std::vector<runner::ExperimentSpec>& specs,
+      const std::function<void(const std::string&)>& on_row = nullptr);
+
+  /// Single-spec convenience over the same streamed protocol.
+  std::optional<JobStats> run(
+      const runner::ExperimentSpec& spec,
+      const std::function<void(const std::string&)>& on_row = nullptr);
+
+  /// EVICT: returns "count=N resident_bytes=B" info on success.
+  std::optional<Head> evict(std::optional<std::uint64_t> max_bytes);
+
+  /// DRAIN; blocks until the daemon's deferred `ok drained` (i.e. until
+  /// every admitted job has completed). Rows/events from this connection's
+  /// other activity are skipped while waiting.
+  bool drain();
+
+  /// SHUTDOWN (acknowledged immediately; the daemon exits after its
+  /// active jobs finish).
+  bool shutdown();
+
+  /// Next raw response line (newline stripped); nullopt on EOF/error.
+  /// Exposed for tests that assert on exact line sequences.
+  std::optional<std::string> read_line();
+
+  /// Writes raw bytes to the socket (a complete frame, normally).
+  bool send_raw(const std::string& bytes);
+
+ private:
+  std::optional<JobStats> streamed_job(
+      const std::string& frame,
+      const std::function<void(const std::string&)>& on_row);
+
+  int fd_ = -1;
+  std::string rbuf_;
+  std::string last_error_;
+};
+
+}  // namespace asyncrv::service

@@ -315,6 +315,38 @@ TEST(Cache, EnvironmentalFailuresDoNotPoisonTheCache) {
   EXPECT_TRUE(second.outcomes[0].error.empty());
 }
 
+TEST(Cache, TruncatedAtCommitEntryDegradesToMissAndHeals) {
+  // The crash-durability contract behind the fsync-before-rename store():
+  // whatever prefix of an entry survives a power cut — including zero
+  // bytes — the cache treats it as a miss, re-executes, and the re-store
+  // repairs the entry in place.
+  const runner::SweepCache cache(fresh_dir("truncated"));
+  const runner::ExperimentSpec spec = rv_spec();
+  const runner::ExperimentOutcome outcome = runner::run_experiment(spec);
+  cache.store(spec, outcome);
+  ASSERT_TRUE(cache.lookup(spec).has_value());
+
+  const std::string path = cache.entry_path(spec);
+  const auto full_size = fs::file_size(path);
+  ASSERT_GT(full_size, 0u);
+  for (const std::uintmax_t keep :
+       {std::uintmax_t{0}, full_size / 2, full_size - 1}) {
+    fs::resize_file(path, keep);
+    EXPECT_FALSE(cache.lookup(spec).has_value())
+        << "a " << keep << "/" << full_size
+        << "-byte torso must be a miss, not a hit or an error";
+
+    // The miss is repairable: a pipeline run re-executes and re-stores.
+    runner::PipelineOptions opts;
+    opts.cache = &cache;
+    const auto report = runner::ExperimentPipeline(opts).run({spec});
+    EXPECT_EQ(report.cache_hits, 0u);
+    EXPECT_EQ(report.executed, 1u);
+    ASSERT_TRUE(cache.lookup(spec).has_value());
+    EXPECT_EQ(fs::file_size(path), full_size);
+  }
+}
+
 TEST(Cache, CachedErrorsAreServedWithoutReexecution) {
   const runner::SweepCache cache(fresh_dir("errors"));
   runner::ExperimentSpec bad = rv_spec();

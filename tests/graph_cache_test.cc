@@ -150,6 +150,86 @@ TEST(GraphCache, LargeSweepOneConstructionPerTopologyAnyThreadCount) {
   }
 }
 
+TEST(GraphCache, EvictDropsLruFirstAndKeepsAccountingExact) {
+  runner::GraphCache cache;
+  const GraphHandle a = cache.resolve("ring:6");     // LRU order: a
+  const GraphHandle b = cache.resolve("grid:4x4");   // a, b
+  const GraphHandle c = cache.resolve("path:9");     // a, b, c
+  (void)cache.resolve("ring:6");                     // touch: b, c, a
+  const std::uint64_t all_bytes =
+      a->memory_bytes() + b->memory_bytes() + c->memory_bytes();
+  ASSERT_EQ(cache.stats().resident_bytes, all_bytes);
+  EXPECT_EQ(cache.stats().resident_bytes_hwm, all_bytes);
+
+  // Evict down just below full residency: exactly the least recently used
+  // instance (grid:4x4 — ring:6 was touched after it) goes.
+  EXPECT_EQ(cache.evict_until(all_bytes - 1), 1u);
+  runner::GraphCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.resident_graphs, 2u);
+  EXPECT_EQ(s.resident_bytes, all_bytes - b->memory_bytes());
+  EXPECT_EQ(s.resident_bytes_hwm, all_bytes) << "the high-water mark stays";
+
+  // The outstanding handle is untouched; the next resolve rebuilds.
+  EXPECT_EQ(b->size(), 16u);
+  const GraphHandle b2 = cache.resolve("grid:4x4");
+  EXPECT_NE(b.get(), b2.get()) << "evicted id must rebuild a fresh instance";
+  EXPECT_EQ(cache.stats().builds, 4u);
+
+  // Targeted eviction; unknown ids refuse.
+  EXPECT_TRUE(cache.evict("path:9"));
+  EXPECT_FALSE(cache.evict("path:9")) << "already gone";
+  EXPECT_FALSE(cache.evict("hypercube:3")) << "never resolved";
+  EXPECT_EQ(cache.evict_until(0), 2u) << "0 evicts everything resident";
+  s = cache.stats();
+  EXPECT_EQ(s.resident_graphs, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.evictions, 4u);
+}
+
+TEST(GraphCache, EvictedIdRebuildsExactlyOnceUnderConcurrentLookups) {
+  runner::GraphCache cache;
+  const std::string id = "grid:32x32";
+  (void)cache.resolve(id);
+  ASSERT_EQ(cache.stats().builds, 1u);
+
+  // Hammer resolve from many threads while the main thread repeatedly
+  // evicts: every eviction must be followed by exactly one rebuild, never
+  // a duplicated or torn construction, and every handle must be servable.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> resolves{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const GraphHandle g = cache.resolve(id);
+        EXPECT_EQ(g->size(), 1024u);
+        resolves.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::uint64_t evicted = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    if (cache.evict(id)) ++evicted;
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  const runner::GraphCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, evicted);
+  // Exactly-once rebuild: one initial build plus at most one per eviction
+  // (an eviction with no later lookup rebuilds lazily, i.e. not at all).
+  EXPECT_LE(s.builds, 1u + evicted);
+  // +1: the warm-up resolve before the threads started.
+  EXPECT_EQ(s.lookups, resolves.load() + 1) << "every resolve is counted";
+  EXPECT_EQ(s.hits + s.builds, s.lookups);
+  EXPECT_LE(s.resident_graphs, 1u);
+}
+
 TEST(GraphCache, PipelineFallsBackToRunLocalCache) {
   // No cache passed in options: the pipeline still interns within the
   // batch and reports the run-local counters.
