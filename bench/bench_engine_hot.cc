@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -342,6 +343,24 @@ std::string git_rev() {
   return rev;
 }
 
+/// The git_rev recorded in an existing baseline JSON, or "" if the file
+/// is absent/unparseable. Used to warn when a tracked baseline (e.g.
+/// BENCH_engine.json) was generated at a different commit than HEAD —
+/// comparing numbers across revs silently is how stale baselines hide
+/// regressions.
+std::string baseline_rev(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string key = "\"git_rev\": \"";
+  const auto at = text.find(key);
+  if (at == std::string::npos) return "";
+  const auto end = text.find('"', at + key.size());
+  if (end == std::string::npos) return "";
+  return text.substr(at + key.size(), end - (at + key.size()));
+}
+
 void write_json(const std::string& path, const std::string& rev,
                 const std::vector<BenchResult>& results) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -444,6 +463,12 @@ int main(int argc, char** argv) {
 
   const std::string rev = git_rev();
   if (!json_path.empty()) {
+    const std::string prior = baseline_rev(json_path);
+    if (!prior.empty() && prior != rev && rev != "unknown") {
+      std::cerr << "warning: " << json_path << " was generated at git_rev "
+                << prior << " but HEAD is " << rev
+                << " — regenerate the tracked baseline before comparing\n";
+    }
     write_json(json_path, rev, results);
     std::printf("\nwrote %s (git_rev %s)\n", json_path.c_str(), rev.c_str());
   }

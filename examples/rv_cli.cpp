@@ -49,6 +49,23 @@
 // reports the daemon's end-line stats, including how many cells actually
 // executed — the second submission of a warm daemon reports executed=0.
 // The socket defaults to $ASYNCRVD_SOCKET, then /tmp/asyncrvd.sock.
+//
+// The `sweep scale` mode drives the sharded million-cell regime
+// (DESIGN.md §10): partitions the scale_grid family into K fingerprint
+// shards, forks one worker per shard against the shared --cache-dir, then
+// merges by re-running the full grid through one pipeline (executed must
+// be 0; rows land in --csv/--jsonl). Re-running after any interruption —
+// including a worker lost to kill -9 — resumes from the committed cells:
+//
+//   rv_cli sweep scale [cells] --cache-dir D [--shards K] [--packed-cache]
+//          [--shard-index I] [--kill-worker W --kill-after N] [pipeline flags]
+//
+// --shard-index runs one shard in-process and skips the merge (the
+// cross-machine mode: point every machine at one shared cache dir).
+// --kill-worker/--kill-after are fault injection for the resumption
+// acceptance test. `rv_cli cache pack --cache-dir D` compacts the
+// directory's loose entries and pack segments into one sealed segment.
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <csignal>
@@ -62,6 +79,7 @@
 #include "runner/cli.h"
 #include "runner/encoding.h"
 #include "runner/registry.h"
+#include "runner/shard.h"
 #include "search/objective.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -198,6 +216,168 @@ int run_search_mode(runner::PipelineCli& cli,
                     ? " — bit-identical to the search's winner\n"
                     : " — MISMATCH (engine determinism bug!)\n");
   return replay.score == so.best_score ? 0 : 3;
+}
+
+// --- sharded sweep + cache maintenance ---------------------------------------
+
+/// Strict non-negative integer or die with a usage hint.
+std::uint64_t parse_count_or_die(const std::string& what,
+                                 const std::string& v) {
+  const auto parsed = runner::LineReader::parse_u64(v);
+  if (!parsed) {
+    std::cerr << "error: bad " << what << " value: " << v << "\n";
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+/// `rv_cli sweep scale` — the sharded, resumable big-grid driver.
+int run_sweep_scale_mode(runner::PipelineCli& cli,
+                         const std::vector<std::string>& args) {
+  const auto usage = [] {
+    std::cerr << "usage: rv_cli sweep scale [cells] --cache-dir <dir> "
+                 "[--shards <k>] [--shard-index <i>] "
+                 "[--kill-worker <i> --kill-after <n>] "
+              << runner::PipelineCli::flags_help() << "\n";
+    return 1;
+  };
+  std::uint64_t cells = 20'000;
+  int shards = 4;
+  int shard_index = -1;
+  int kill_worker = -1;
+  std::uint64_t kill_after = 0;
+  bool have_cells = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: missing value after " << arg << "\n";
+        std::exit(1);
+      }
+      return args[++i];
+    };
+    if (arg == "--shards") {
+      shards = static_cast<int>(parse_count_or_die(arg, value()));
+    } else if (arg == "--shard-index") {
+      shard_index = static_cast<int>(parse_count_or_die(arg, value()));
+    } else if (arg == "--kill-worker") {
+      kill_worker = static_cast<int>(parse_count_or_die(arg, value()));
+    } else if (arg == "--kill-after") {
+      kill_after = parse_count_or_die(arg, value());
+    } else if (!have_cells && !arg.empty() && arg[0] != '-') {
+      cells = parse_count_or_die("cells", arg);
+      have_cells = true;
+    } else {
+      return usage();
+    }
+  }
+  if (shards < 1 || shards > 1024 || cells == 0 ||
+      (kill_worker >= 0) != (kill_after > 0)) {
+    return usage();
+  }
+  if (!cli.has_cache()) {
+    std::cerr << "error: sweep scale needs --cache-dir (the shared "
+                 "coordination substrate)\n";
+    return 1;
+  }
+
+  const std::vector<runner::ExperimentSpec> specs = runner::scale_grid(cells);
+  const auto plan = runner::plan_shards(specs, shards);
+  std::cout << "plan: " << cells << " cells -> " << shards << " shards\n";
+  for (int k = 0; k < shards; ++k) {
+    std::cout << "shard " << k << ": " << plan[static_cast<std::size_t>(k)].size()
+              << " cells\n";
+  }
+
+  if (shard_index >= 0) {
+    // Cross-machine mode: this invocation IS one worker; some other
+    // invocation merges once every shard has run.
+    if (shard_index >= shards) return usage();
+    runner::ShardWorkerOptions wopts;
+    wopts.cache_dir = cli.cache_dir();
+    wopts.cache = cli.cache_options();
+    wopts.threads = cli.threads();
+    wopts.batch = true;
+    wopts.progress = cli.progress();
+    wopts.kill_after = kill_after;
+    const runner::ShardWorkerStats s =
+        runner::run_shard(specs, plan[static_cast<std::size_t>(shard_index)], wopts);
+    std::cout << "shard " << shard_index << " done: cells=" << s.cells
+              << " hits=" << s.hits << " executed=" << s.executed
+              << " fsyncs=" << s.fsyncs << " store_bytes=" << s.store_bytes
+              << "\n";
+    return 0;
+  }
+
+  runner::ShardDriverOptions dopts;
+  dopts.cache_dir = cli.cache_dir();
+  dopts.shards = shards;
+  dopts.cache = cli.cache_options();
+  dopts.threads_per_worker = cli.threads();
+  dopts.batch = true;
+  dopts.progress = cli.progress();
+  dopts.kill_worker = kill_worker;
+  dopts.kill_after = kill_after;
+  const runner::ShardRun run = runner::run_sharded(specs, dopts);
+  for (const runner::ShardWorkerResult& w : run.workers) {
+    std::cout << "worker " << w.shard << " (pid " << w.pid << "): ";
+    if (WIFSIGNALED(w.wait_status)) {
+      std::cout << "killed by signal " << WTERMSIG(w.wait_status) << "\n";
+    } else if (!WIFEXITED(w.wait_status) || WEXITSTATUS(w.wait_status) != 0 ||
+               !w.reported) {
+      std::cout << "exited "
+                << (WIFEXITED(w.wait_status) ? WEXITSTATUS(w.wait_status) : -1)
+                << " without a report\n";
+    } else {
+      std::cout << "exited 0, hits=" << w.stats.hits
+                << " executed=" << w.stats.executed
+                << " fsyncs=" << w.stats.fsyncs
+                << " store_bytes=" << w.stats.store_bytes << "\n";
+    }
+  }
+  if (!run.ok()) {
+    // Never merge over a dead worker's hole: an in-process merge would
+    // silently re-execute its missing cells and defeat every committed-cell
+    // assertion. Re-running the driver resumes from the committed prefix.
+    std::cerr << "sweep incomplete: a worker failed — re-run to resume from "
+                 "the committed cells\n";
+    return 4;
+  }
+
+  // Merge/verify: the whole grid through ONE pipeline against the shared
+  // cache. Every cell must be a hit, and pipeline determinism makes the
+  // emitted rows byte-identical to a single-process run at any shard count.
+  runner::SweepCache merge_cache(cli.cache_dir(), cli.cache_options());
+  runner::PipelineOptions popts = cli.options();
+  popts.cache = &merge_cache;
+  popts.batch = true;
+  const runner::PipelineReport report =
+      runner::ExperimentPipeline(popts).run(specs);
+  std::cout << "merge: " << report.summary() << "\n";
+  std::cout << "sweep: cells=" << cells << " hits=" << report.cache_hits
+            << " executed=" << report.executed << " shards=" << shards << "\n";
+  if (report.executed != 0) {
+    std::cerr << "error: merge re-executed " << report.executed
+              << " cells — the workers' commits did not cover the grid\n";
+    return 3;
+  }
+  return 0;
+}
+
+/// `rv_cli cache pack` — offline compaction of a cache directory.
+int run_cache_mode(runner::PipelineCli& cli,
+                   const std::vector<std::string>& args) {
+  if (args.size() != 2 || args[1] != "pack" || !cli.has_cache()) {
+    std::cerr << "usage: rv_cli cache pack --cache-dir <dir>\n";
+    return 1;
+  }
+  const runner::SweepCache::CompactStats cs = cli.cache()->compact();
+  std::cout << "packed " << cli.cache_dir() << ": " << cs.records
+            << " records (" << cs.bytes << " bytes) in one segment, "
+            << cs.loose_migrated << " loose migrated, " << cs.segments_merged
+            << " segments merged, " << cs.invalid_dropped
+            << " invalid dropped\n";
+  return 0;
 }
 
 // --- daemon command family ---------------------------------------------------
@@ -499,6 +679,14 @@ int main(int argc, char** argv) {
     runner::PipelineCli cli;
     const std::vector<std::string> args = cli.parse(argc, argv);
     if (!args.empty() && args[0] == "search") return run_search_mode(cli, args);
+    if (!args.empty() && args[0] == "sweep") {
+      if (args.size() < 2 || args[1] != "scale") {
+        std::cerr << "error: the named sweeps are: scale\n";
+        return 1;
+      }
+      return run_sweep_scale_mode(cli, {args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "cache") return run_cache_mode(cli, args);
     if (args.size() > 6) {
       std::cerr << "usage: rv_cli [family] [n] [label_a] [label_b] "
                    "[adversary] [seed] "

@@ -1,8 +1,10 @@
 #include "runner/cache.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <filesystem>
@@ -177,6 +179,99 @@ std::optional<SearchOutcome> decode_search(Reader& in) {
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Pack segment helpers (format `asyncrv.cachepack.v1`, DESIGN.md §10).
+//
+// Layout:
+//   asyncrv.cachepack.v1\n
+//   rec <fp_hex> <len>\n            } repeated; <len> payload bytes follow
+//   <payload: encode_outcome bytes> }  the frame line immediately
+//   ...
+//   idx <count>\n                   } footer, present only in SEALED
+//   <fp_hex> <offset> <len>\n × count }  segments (graceful close);
+//   footer <idx_offset>\n           }  <offset> is the PAYLOAD offset
+//
+// The footer's final line lets open() find the index with one tail read; a
+// crashed segment has no footer and is recovered by a sequential scan that
+// stops at the first frame that does not parse or whose payload is short —
+// everything before the tear stays servable.
+
+constexpr const char kPackHeader[] = "asyncrv.cachepack.v1";
+constexpr const char kPackSuffix[] = ".cachepack";
+// A single outcome entry is a few hundred bytes; anything claiming more
+// than this is a corrupt frame, not a record.
+constexpr std::uint64_t kMaxRecordLen = 64ULL * 1024 * 1024;
+
+std::optional<Fingerprint> parse_fp_hex(const std::string& s) {
+  if (s.size() != 32) return std::nullopt;
+  Fingerprint fp;
+  for (int i = 0; i < 32; ++i) {
+    const char c = s[static_cast<std::size_t>(i)];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') nibble = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    else return std::nullopt;
+    if (i < 16) fp.hi = fp.hi << 4 | nibble;
+    else fp.lo = fp.lo << 4 | nibble;
+  }
+  return fp;
+}
+
+// "rec <fp_hex> <len>" -> (fp, len); nullopt on any mismatch.
+std::optional<std::pair<Fingerprint, std::uint64_t>> parse_rec_line(
+    const std::string& line) {
+  const auto parts = split(line, ' ');
+  if (parts.size() != 3 || parts[0] != "rec") return std::nullopt;
+  const auto fp = parse_fp_hex(parts[1]);
+  const auto len = Reader::parse_u64(parts[2]);
+  if (!fp || !len || *len == 0 || *len > kMaxRecordLen) return std::nullopt;
+  return std::make_pair(*fp, *len);
+}
+
+bool write_all(int fd, const char* p, std::size_t left) {
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// pread exactly `len` bytes at `off`; false on EOF-before-len or error.
+bool pread_all(int fd, std::uint64_t off, char* p, std::size_t len) {
+  while (len > 0) {
+    const ::ssize_t n = ::pread(fd, p, len, static_cast<::off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    off += static_cast<std::uint64_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return false;
+  const bool ok = ::fsync(dfd) == 0;
+  ::close(dfd);
+  return ok;
+}
+
+bool is_loose_entry_name(const std::string& name) {
+  if (name.size() != 32 + 8 || name.compare(32, 8, ".outcome") != 0) {
+    return false;
+  }
+  return parse_fp_hex(name.substr(0, 32)).has_value();
+}
+
 }  // namespace
 
 std::string encode_outcome(const ExperimentSpec& spec,
@@ -319,9 +414,28 @@ std::optional<ExperimentOutcome> decode_outcome(const ExperimentSpec& spec,
   }
 }
 
-SweepCache::SweepCache(std::string dir, std::uint32_t format_version)
-    : dir_(std::move(dir)), format_version_(format_version) {
+// ---------------------------------------------------------------------------
+// SweepCache
+
+SweepCache::SweepCache(std::string dir, SweepCacheOptions options,
+                       std::uint32_t format_version)
+    : dir_(std::move(dir)), format_version_(format_version), options_(options) {
   std::filesystem::create_directories(dir_);
+  std::lock_guard<std::mutex> lock(mu_);
+  load_segments_locked();
+}
+
+SweepCache::~SweepCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  try {
+    seal_active_locked();
+  } catch (...) {
+    // Destructor must not throw; an unsealed segment still loads by scan.
+  }
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+    seg.fd = -1;
+  }
 }
 
 std::string SweepCache::entry_path(const ExperimentSpec& spec) const {
@@ -329,15 +443,183 @@ std::string SweepCache::entry_path(const ExperimentSpec& spec) const {
       .string();
 }
 
+void SweepCache::load_segments_locked() const {
+  try {
+    std::vector<std::string> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.size() > sizeof(kPackSuffix) &&
+          name.compare(name.size() - (sizeof(kPackSuffix) - 1),
+                       sizeof(kPackSuffix) - 1, kPackSuffix) == 0) {
+        paths.push_back(entry.path().string());
+      }
+    }
+    // Deterministic load order so duplicate fingerprints resolve the same
+    // way in every process (last loaded wins in the map).
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& path : paths) load_one_segment_locked(path);
+  } catch (const std::exception&) {
+    // An unreadable directory is just a cache that misses.
+  }
+}
+
+bool SweepCache::load_one_segment_locked(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return false;
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  const std::string header_line = std::string(kPackHeader) + "\n";
+  {
+    std::string got(header_line.size(), '\0');
+    if (file_size < header_line.size() ||
+        !pread_all(fd, 0, got.data(), got.size()) || got != header_line) {
+      ::close(fd);  // foreign or empty file wearing our suffix — ignore it
+      return false;
+    }
+  }
+  const auto seg_index = static_cast<std::uint32_t>(segments_.size());
+  std::vector<std::pair<Fingerprint, Loc>> records;
+
+  // Fast path: a sealed segment names its index in the final line.
+  bool loaded = false;
+  do {
+    const std::uint64_t tail_window = std::min<std::uint64_t>(file_size, 64);
+    std::string tail(tail_window, '\0');
+    if (!pread_all(fd, file_size - tail_window, tail.data(), tail.size())) break;
+    if (tail.empty() || tail.back() != '\n') break;
+    const auto prev_nl = tail.find_last_of('\n', tail.size() - 2);
+    const std::string last_line =
+        prev_nl == std::string::npos && tail_window == file_size
+            ? tail.substr(0, tail.size() - 1)
+            : prev_nl == std::string::npos
+                  ? std::string()  // footer line longer than the window: no
+                  : tail.substr(prev_nl + 1, tail.size() - prev_nl - 2);
+    const auto parts = split(last_line, ' ');
+    if (parts.size() != 2 || parts[0] != "footer") break;
+    const auto idx_offset = Reader::parse_u64(parts[1]);
+    if (!idx_offset || *idx_offset >= file_size ||
+        *idx_offset < header_line.size()) {
+      break;
+    }
+    std::string idx_region(file_size - *idx_offset, '\0');
+    if (!pread_all(fd, *idx_offset, idx_region.data(), idx_region.size())) break;
+    Reader in(idx_region);
+    const auto count = in.line();
+    if (!count) break;
+    const auto count_parts = split(*count, ' ');
+    if (count_parts.size() != 2 || count_parts[0] != "idx") break;
+    const auto n = Reader::parse_u64(count_parts[1]);
+    if (!n || *n > file_size) break;  // each idx line costs > 1 byte
+    bool ok = true;
+    records.reserve(*n);
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      const auto line = in.line();
+      if (!line) { ok = false; break; }
+      const auto f = split(*line, ' ');
+      if (f.size() != 3) { ok = false; break; }
+      const auto fp = parse_fp_hex(f[0]);
+      const auto off = Reader::parse_u64(f[1]);
+      const auto len = Reader::parse_u64(f[2]);
+      if (!fp || !off || !len || *len == 0 || *len > kMaxRecordLen ||
+          *off + *len > *idx_offset) {
+        ok = false;
+        break;
+      }
+      records.emplace_back(
+          *fp, Loc{seg_index, *off, static_cast<std::uint32_t>(*len)});
+    }
+    if (!ok) { records.clear(); break; }
+    const auto footer_check = in.line();
+    if (!footer_check || *footer_check != last_line || in.line()) {
+      records.clear();
+      break;
+    }
+    loaded = true;
+  } while (false);
+
+  if (!loaded) {
+    // Scan path: walk the frames of an unsealed (crashed) or footer-damaged
+    // segment, keeping every record before the first byte that fails to
+    // parse — the contract that truncation only costs the torn tail.
+    records.clear();
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(header_line.size()));
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const auto rec = parse_rec_line(line);
+      if (!rec) break;  // idx line, torn frame, or garbage: stop here
+      const auto payload_off = static_cast<std::uint64_t>(in.tellg());
+      in.seekg(static_cast<std::streamoff>(rec->second), std::ios::cur);
+      // A record counts only if its payload is fully present: peek past it.
+      if (!in || in.peek() == std::char_traits<char>::eof()) {
+        if (payload_off + rec->second == file_size) {
+          records.emplace_back(rec->first,
+                               Loc{seg_index, payload_off,
+                                   static_cast<std::uint32_t>(rec->second)});
+        }
+        break;
+      }
+      records.emplace_back(rec->first,
+                           Loc{seg_index, payload_off,
+                               static_cast<std::uint32_t>(rec->second)});
+    }
+  }
+
+  segments_.push_back(Segment{path, fd});
+  for (const auto& [fp, loc] : records) index_[fp] = loc;
+  ++stats_.segments;
+  stats_.pack_records += records.size();
+  return true;
+}
+
 std::optional<ExperimentOutcome> SweepCache::lookup(
     const ExperimentSpec& spec) const {
+  const Fingerprint fp = spec.fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    const auto it = index_.find(fp);
+    if (it != index_.end()) {
+      const Loc loc = it->second;
+      const int fd = segments_[loc.segment].fd;
+      std::string bytes(loc.length, '\0');
+      if (fd >= 0 && pread_all(fd, loc.offset, bytes.data(), bytes.size())) {
+        auto out = decode_outcome(spec, bytes, format_version_);
+        if (out) {
+          ++stats_.hits;
+          ++stats_.pack_hits;
+          return out;
+        }
+        // Collision or damaged payload: fall through to the loose file.
+      }
+    }
+  }
+  std::uint64_t unused = 0;
+  auto out = lookup_loose(spec, &unused);
+  if (out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    ++stats_.loose_hits;
+  }
+  return out;
+}
+
+std::optional<ExperimentOutcome> SweepCache::lookup_loose(
+    const ExperimentSpec& spec, std::uint64_t* bytes_read) const {
   try {
     std::ifstream in(entry_path(spec), std::ios::binary);
     if (!in) return std::nullopt;
     std::ostringstream bytes;
     bytes << in.rdbuf();
     if (!in.good() && !in.eof()) return std::nullopt;
-    return decode_outcome(spec, bytes.str(), format_version_);
+    const std::string buf = bytes.str();
+    *bytes_read = buf.size();
+    return decode_outcome(spec, buf, format_version_);
   } catch (const std::exception&) {
     return std::nullopt;
   }
@@ -346,57 +628,330 @@ std::optional<ExperimentOutcome> SweepCache::lookup(
 void SweepCache::store(const ExperimentSpec& spec,
                        const ExperimentOutcome& outcome) const {
   try {
-    static std::atomic<std::uint64_t> counter{0};
-    const std::string final_path = entry_path(spec);
-    // pid + per-process counter: unique even when concurrent sweeps share
-    // the directory, so the rename below is the only visible mutation.
-    const std::string tmp_path = final_path + ".tmp." +
-                                 std::to_string(::getpid()) + "." +
-                                 std::to_string(counter.fetch_add(1));
     const std::string bytes = encode_outcome(spec, outcome, format_version_);
-    // Raw POSIX writes so the temp file can be fsync'd BEFORE the rename:
-    // rename is atomic against concurrent readers but not against power
-    // loss — without the fsync a crash after the rename commits can leave
-    // a zero-length (or partial) file under the final name. A truncated
-    // entry still only degrades to a miss (decode_outcome's strict
-    // trailer), but the fsync keeps committed entries actually durable.
-    const int fd = ::open(tmp_path.c_str(),
-                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd < 0) return;
-    const char* p = bytes.data();
-    std::size_t left = bytes.size();
-    bool write_ok = true;
-    while (left > 0) {
-      const ::ssize_t n = ::write(fd, p, left);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        write_ok = false;
-        break;
-      }
-      p += n;
-      left -= static_cast<std::size_t>(n);
-    }
-    if (write_ok && ::fsync(fd) != 0) write_ok = false;
-    ::close(fd);
-    std::error_code ec;
-    if (!write_ok) {
-      std::filesystem::remove(tmp_path, ec);
-      return;
-    }
-    std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) {
-      std::filesystem::remove(tmp_path, ec);
-      return;
-    }
-    // And the directory entry itself, so the rename survives a crash too.
-    const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-    if (dfd >= 0) {
-      ::fsync(dfd);
-      ::close(dfd);
+    if (options_.packed) {
+      store_packed(spec.fingerprint(), bytes);
+    } else {
+      store_loose(spec, bytes);
     }
   } catch (const std::exception&) {
     // Best-effort: a cache that cannot write is just a cache that misses.
   }
+}
+
+void SweepCache::store_loose(const ExperimentSpec& spec,
+                             const std::string& bytes) const {
+  static std::atomic<std::uint64_t> counter{0};
+  const bool strict =
+      options_.durability == SweepCacheOptions::Durability::Strict;
+  const std::string final_path = entry_path(spec);
+  // pid + per-process counter: unique even when concurrent sweeps share
+  // the directory, so the rename below is the only visible mutation.
+  const std::string tmp_path = final_path + ".tmp." +
+                               std::to_string(::getpid()) + "." +
+                               std::to_string(counter.fetch_add(1));
+  // Raw POSIX writes so the temp file can be fsync'd BEFORE the rename:
+  // rename is atomic against concurrent readers but not against power
+  // loss — without the fsync a crash after the rename commits can leave
+  // a zero-length (or partial) file under the final name. A truncated
+  // entry still only degrades to a miss (decode_outcome's strict
+  // trailer), but the fsync keeps committed entries actually durable.
+  // Batch durability trades exactly that away: no fsync until flush(),
+  // one directory fsync per pipeline flush instead of two syncs per cell.
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  bool write_ok = write_all(fd, bytes.data(), bytes.size());
+  if (write_ok && strict && ::fsync(fd) != 0) write_ok = false;
+  ::close(fd);
+  std::error_code ec;
+  if (!write_ok) {
+    std::filesystem::remove(tmp_path, ec);
+    return;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  stats_.store_bytes += bytes.size();
+  if (strict) {
+    // And the directory entry itself, so the rename survives a crash too.
+    ++stats_.fsyncs;  // the entry fsync above
+    if (fsync_dir(dir_)) ++stats_.fsyncs;
+  } else {
+    loose_dir_dirty_ = true;  // flush() settles the directory once per batch
+  }
+}
+
+bool SweepCache::ensure_active_locked() const {
+  if (active_broken_) return false;
+  if (active_segment_ >= 0) return true;
+  // One segment per cache object (pid + attempt counter makes the name
+  // unique under O_EXCL), so concurrent processes sharing the directory
+  // never interleave appends within a file.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const std::string name = "seg-" + std::to_string(::getpid()) + "-" +
+                             std::to_string(attempt) + kPackSuffix;
+    const std::string path = (std::filesystem::path(dir_) / name).string();
+    const int fd = ::open(path.c_str(),
+                          O_RDWR | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+      if (errno == EEXIST) continue;
+      return false;
+    }
+    const std::string header_line = std::string(kPackHeader) + "\n";
+    if (!write_all(fd, header_line.data(), header_line.size())) {
+      ::close(fd);
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      return false;
+    }
+    active_segment_ = static_cast<std::int32_t>(segments_.size());
+    segments_.push_back(Segment{path, fd});
+    active_offset_ = header_line.size();
+    ++stats_.segments;
+    return true;
+  }
+  return false;
+}
+
+void SweepCache::store_packed(const Fingerprint& fp,
+                              const std::string& bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ensure_active_locked()) return;
+  // Frame + payload in ONE write so a crash tears at most the tail record.
+  std::string buf = "rec " + fp.hex() + " " + std::to_string(bytes.size()) +
+                    "\n" + bytes;
+  const int fd = segments_[static_cast<std::size_t>(active_segment_)].fd;
+  if (!write_all(fd, buf.data(), buf.size())) {
+    // A half-written tail is unrecoverable through this fd's bookkeeping;
+    // stop appending (readers degrade the tear to misses) but keep serving.
+    active_broken_ = true;
+    return;
+  }
+  const Loc loc{static_cast<std::uint32_t>(active_segment_),
+                active_offset_ + (buf.size() - bytes.size()),
+                static_cast<std::uint32_t>(bytes.size())};
+  active_offset_ += buf.size();
+  index_[fp] = loc;
+  active_records_.emplace_back(fp, loc);
+  ++pending_records_;
+  ++stats_.stores;
+  stats_.store_bytes += bytes.size();
+  ++stats_.pack_records;
+  if (options_.flush_every > 0 && pending_records_ >= options_.flush_every) {
+    flush_locked();
+  }
+}
+
+void SweepCache::flush() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void SweepCache::flush_locked() const {
+  if (pending_records_ > 0 && active_segment_ >= 0 && !active_broken_) {
+    const int fd = segments_[static_cast<std::size_t>(active_segment_)].fd;
+    if (::fsync(fd) == 0) {
+      ++stats_.fsyncs;
+      pending_records_ = 0;
+    }
+  }
+  if (loose_dir_dirty_) {
+    if (fsync_dir(dir_)) ++stats_.fsyncs;
+    loose_dir_dirty_ = false;
+  }
+}
+
+void SweepCache::seal_active_locked() const {
+  flush_locked();
+  if (active_segment_ < 0 || active_broken_) {
+    active_segment_ = -1;
+    active_records_.clear();
+    pending_records_ = 0;
+    active_broken_ = false;
+    return;
+  }
+  const int fd = segments_[static_cast<std::size_t>(active_segment_)].fd;
+  std::ostringstream os;
+  os << "idx " << active_records_.size() << '\n';
+  for (const auto& [fp, loc] : active_records_) {
+    os << fp.hex() << ' ' << loc.offset << ' ' << loc.length << '\n';
+  }
+  os << "footer " << active_offset_ << '\n';
+  const std::string footer = os.str();
+  if (write_all(fd, footer.data(), footer.size()) && ::fsync(fd) == 0) {
+    ++stats_.fsyncs;
+  }
+  active_segment_ = -1;
+  active_offset_ = 0;
+  active_records_.clear();
+  pending_records_ = 0;
+  active_broken_ = false;
+}
+
+SweepCache::Stats SweepCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+SweepCache::CompactStats SweepCache::compact() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompactStats cs;
+  try {
+    seal_active_locked();
+
+    // Latest record per fingerprint: pack index first, then valid loose
+    // entries override (a loose file is an explicit later store).
+    struct Pending {
+      std::string bytes;
+      bool from_loose = false;
+      std::string loose_path;
+    };
+    std::vector<std::pair<Fingerprint, Pending>> merged;
+    std::unordered_map<Fingerprint, std::size_t, FpHash> pos;
+    for (const auto& [fp, loc] : index_) {
+      std::string bytes(loc.length, '\0');
+      const int fd = segments_[loc.segment].fd;
+      if (fd < 0 || !pread_all(fd, loc.offset, bytes.data(), bytes.size())) {
+        continue;
+      }
+      pos[fp] = merged.size();
+      merged.emplace_back(fp, Pending{std::move(bytes), false, {}});
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (!is_loose_entry_name(name)) continue;
+      // Validate by round-tripping through the strict parsers: the embedded
+      // canonical spec must parse, refingerprint to the file's own name, and
+      // the whole entry must decode against that spec.
+      std::string bytes;
+      {
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in.good() && !in.eof()) {
+          ++cs.invalid_dropped;
+          continue;
+        }
+        bytes = buf.str();
+      }
+      const auto spec = [&]() -> std::optional<ExperimentSpec> {
+        Reader in(bytes);
+        const auto header = in.line();
+        if (!header || *header != version_header(format_version_)) {
+          return std::nullopt;
+        }
+        const auto spec_bytes = in.u64("spec-bytes");
+        if (!spec_bytes || *spec_bytes > bytes.size()) return std::nullopt;
+        const auto canonical_start = bytes.find('\n');
+        const auto canonical_mid = bytes.find('\n', canonical_start + 1);
+        if (canonical_mid == std::string::npos ||
+            canonical_mid + 1 + *spec_bytes > bytes.size()) {
+          return std::nullopt;
+        }
+        return spec_from_canonical(bytes.substr(canonical_mid + 1, *spec_bytes));
+      }();
+      if (!spec || spec->fingerprint().hex() != name.substr(0, 32) ||
+          !decode_outcome(*spec, bytes, format_version_)) {
+        ++cs.invalid_dropped;
+        continue;
+      }
+      const Fingerprint fp = spec->fingerprint();
+      const Pending p{std::move(bytes), true, entry.path().string()};
+      const auto it = pos.find(fp);
+      if (it != pos.end()) {
+        merged[it->second].second = p;
+      } else {
+        pos[fp] = merged.size();
+        merged.emplace_back(fp, p);
+      }
+      ++cs.loose_migrated;
+    }
+    if (merged.empty() && segments_.empty()) return cs;
+
+    // Deterministic output order: fingerprint-sorted.
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    // Write the replacement segment fully — sealed and fsync'd — BEFORE
+    // deleting anything, so a crash at any point leaves every record
+    // readable from either the old files or the new one.
+    std::string new_path;
+    int fd = -1;
+    for (int attempt = 0; attempt < 1000 && fd < 0; ++attempt) {
+      const std::string name = "seg-" + std::to_string(::getpid()) + "-c" +
+                               std::to_string(attempt) + kPackSuffix;
+      const std::string candidate =
+          (std::filesystem::path(dir_) / name).string();
+      fd = ::open(candidate.c_str(),
+                  O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+      if (fd >= 0) new_path = candidate;
+      else if (errno != EEXIST) return cs;
+    }
+    if (fd < 0) return cs;
+    std::ostringstream os;
+    os << kPackHeader << '\n';
+    std::vector<std::pair<Fingerprint, Loc>> locs;
+    locs.reserve(merged.size());
+    for (const auto& [fp, p] : merged) {
+      os << "rec " << fp.hex() << ' ' << p.bytes.size() << '\n';
+      const auto frame_end = static_cast<std::uint64_t>(os.tellp());
+      os << p.bytes;
+      locs.emplace_back(
+          fp, Loc{0, frame_end, static_cast<std::uint32_t>(p.bytes.size())});
+      ++cs.records;
+      cs.bytes += p.bytes.size();
+    }
+    const auto idx_offset = static_cast<std::uint64_t>(os.tellp());
+    os << "idx " << locs.size() << '\n';
+    for (const auto& [fp, loc] : locs) {
+      os << fp.hex() << ' ' << loc.offset << ' ' << loc.length << '\n';
+    }
+    os << "footer " << idx_offset << '\n';
+    const std::string blob = os.str();
+    const bool ok = write_all(fd, blob.data(), blob.size()) && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+      std::error_code ec;
+      std::filesystem::remove(new_path, ec);
+      return cs;
+    }
+    ++stats_.fsyncs;
+    if (fsync_dir(dir_)) ++stats_.fsyncs;
+
+    // Now the old files are redundant: drop them and settle the directory.
+    for (Segment& seg : segments_) {
+      if (seg.fd >= 0) ::close(seg.fd);
+      seg.fd = -1;
+      std::error_code ec;
+      std::filesystem::remove(seg.path, ec);
+      ++cs.segments_merged;
+    }
+    for (const auto& [fp, p] : merged) {
+      if (!p.from_loose) continue;
+      std::error_code ec;
+      std::filesystem::remove(p.loose_path, ec);
+    }
+    if (fsync_dir(dir_)) ++stats_.fsyncs;
+
+    // Reload from disk: exactly one sealed segment now.
+    segments_.clear();
+    index_.clear();
+    active_segment_ = -1;
+    active_offset_ = 0;
+    active_records_.clear();
+    pending_records_ = 0;
+    load_segments_locked();
+  } catch (const std::exception&) {
+    // Best-effort like every other cache path.
+  }
+  return cs;
 }
 
 }  // namespace asyncrv::runner

@@ -8,23 +8,53 @@
 // of the spec, so the substitution is exact — the pipeline's reports are
 // byte-identical whether a cell was executed or loaded.
 //
+// Two on-disk representations coexist in one cache directory:
+//
+//  * LOOSE entries — one `<fingerprint>.outcome` file per cell, written
+//    through temp-file + atomic rename. Simple, safely shared between
+//    unrelated processes, but at a million cells the per-entry open +
+//    fsync + rename + directory-fsync sequence IS the sweep's wall clock.
+//  * PACK segments — log-structured `*.cachepack` files (format
+//    `asyncrv.cachepack.v1`, DESIGN.md §10) that append many framed
+//    entries and fsync once per group-commit flush() instead of once per
+//    cell. A gracefully closed segment is sealed with a footer index so
+//    reopening seeks straight to the index; a segment cut short by a
+//    crash (no footer, torn tail) is recovered by a sequential scan that
+//    keeps every record before the first damaged byte — corruption
+//    degrades to misses for the torn tail only.
+//
+// Reads always see both: open() loads every segment's fingerprint→offset
+// map into memory and lookup() consults it before falling back to the
+// loose file, so packed and loose writers interoperate and `rv_cli cache
+// pack` can migrate a loose directory without invalidating anything.
+// Writes go loose by default; SweepCacheOptions::packed opts a writer into
+// appending to its own private segment (one segment per cache object, so
+// concurrent processes never interleave appends).
+//
 // Robustness contract: the cache is best-effort and NEVER an error source.
 //  * a missing, truncated, corrupted or version-mismatched entry is a miss
 //    (the cell simply runs again and the entry is rewritten);
 //  * the stored canonical spec is compared against the probe on every hit,
 //    so a fingerprint collision (or a foreign file) degrades to a miss;
 //  * store() failures (read-only dir, disk full) are swallowed;
-//  * writes go through a temp file + atomic rename, so concurrent sweeps
-//    sharing a directory never observe half-written entries.
+//  * loose writes go through a temp file + atomic rename, so concurrent
+//    sweeps sharing a directory never observe half-written entries;
+//  * a pack record is COMMITTED once flush() has fsynced it — kill -9
+//    loses at most the unflushed tail, and those cells simply re-execute.
 //
 // Entries are versioned (`asyncrv.cache.v<N>`): bumping kFormatVersion —
 // required whenever the outcome serialization or simulator semantics
-// change — invalidates every existing entry wholesale.
+// change — invalidates every existing entry wholesale (pack records frame
+// the same entry bytes, so the version check is unchanged).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "runner/outcome.h"
 #include "runner/spec.h"
@@ -46,32 +76,142 @@ std::optional<ExperimentOutcome> decode_outcome(const ExperimentSpec& spec,
                                                 const std::string& bytes,
                                                 std::uint32_t format_version);
 
+struct SweepCacheOptions {
+  /// Append outcomes to a private pack segment (group-commit durability)
+  /// instead of writing one loose file per cell. Reads are unaffected —
+  /// every cache sees both representations.
+  bool packed = false;
+
+  /// Durability of the LOOSE store path.
+  ///  * Strict — PR 7 semantics, the default: fsync the entry before the
+  ///    rename and the directory after it, every store.
+  ///  * Batch  — opt-in amortization: entries rename in without any fsync
+  ///    and flush() fsyncs the directory once per pipeline flush. A crash
+  ///    can leave a torn entry under its final name, which decode's strict
+  ///    trailer degrades to a miss — the cell re-executes and heals.
+  enum class Durability { Strict, Batch };
+  Durability durability = Durability::Strict;
+
+  /// Packed mode: auto-group-commit after this many appended records
+  /// (bounds the re-execution window of a crash between pipeline
+  /// flushes). 0 = only explicit flush() calls commit.
+  std::uint64_t flush_every = 1024;
+};
+
 class SweepCache {
  public:
   /// The on-disk format version baked into this build. Test-only overrides
   /// below simulate cross-release invalidation.
   static constexpr std::uint32_t kFormatVersion = 1;
 
-  /// Creates `dir` (and parents) if needed. Throws only when the directory
+  /// Creates `dir` (and parents) if needed and loads the fingerprint map
+  /// of every pack segment already in it. Throws only when the directory
   /// cannot be created at all — everything later is best-effort.
-  explicit SweepCache(std::string dir,
+  explicit SweepCache(std::string dir, SweepCacheOptions options,
                       std::uint32_t format_version = kFormatVersion);
+  explicit SweepCache(std::string dir,
+                      std::uint32_t format_version = kFormatVersion)
+      : SweepCache(std::move(dir), SweepCacheOptions{}, format_version) {}
+
+  /// Flushes and seals this cache's own segment (writes the footer index
+  /// so the next open loads it without a scan).
+  ~SweepCache();
+  SweepCache(const SweepCache&) = delete;
+  SweepCache& operator=(const SweepCache&) = delete;
 
   /// The cached outcome of this spec, or nullopt on any kind of miss.
+  /// Thread-safe; consults pack segments first, then the loose file.
   std::optional<ExperimentOutcome> lookup(const ExperimentSpec& spec) const;
 
-  /// Persists the outcome under the spec's fingerprint (best-effort).
+  /// Persists the outcome under the spec's fingerprint (best-effort,
+  /// thread-safe). Loose file by default; appended to this cache's pack
+  /// segment under SweepCacheOptions::packed.
   void store(const ExperimentSpec& spec,
              const ExperimentOutcome& outcome) const;
 
+  /// Group commit: fsyncs the pack segment (packed mode) or the cache
+  /// directory (loose Batch durability). One call per pipeline flush is
+  /// the whole point — ExperimentPipeline::run calls it once at the end,
+  /// and anything stored before a flush() returned is crash-durable
+  /// ("committed"). No-op when nothing is pending.
+  void flush() const;
+
   const std::string& dir() const { return dir_; }
 
-  /// Path of the entry that lookup/store use for this spec.
+  /// Path of the LOOSE entry for this spec (what store() writes when not
+  /// packed, and the lookup fallback).
   std::string entry_path(const ExperimentSpec& spec) const;
 
+  /// Observability counters (cumulative since construction).
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;        ///< pack_hits + loose_hits
+    std::uint64_t pack_hits = 0;
+    std::uint64_t loose_hits = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t store_bytes = 0; ///< payload bytes written by store()
+    std::uint64_t fsyncs = 0;      ///< every fsync this cache issued
+    std::uint64_t segments = 0;    ///< pack segments loaded at open
+    std::uint64_t pack_records = 0;///< records indexed (open + own appends)
+  };
+  Stats stats() const;
+
+  /// Offline compaction (`rv_cli cache pack`): rewrites every readable
+  /// record — all pack segments plus every valid loose entry, loose
+  /// winning on duplicate fingerprints — into ONE fresh sealed segment,
+  /// then deletes the migrated loose files and superseded segments. Safe
+  /// against crashes (the new segment is fsynced before anything is
+  /// deleted); NOT safe against concurrent writers of the same directory
+  /// — compact quiesced caches only. Returns what was migrated.
+  struct CompactStats {
+    std::uint64_t records = 0;        ///< records in the new segment
+    std::uint64_t bytes = 0;          ///< payload bytes in the new segment
+    std::uint64_t loose_migrated = 0; ///< loose files folded in + deleted
+    std::uint64_t segments_merged = 0;///< old segments folded in + deleted
+    std::uint64_t invalid_dropped = 0;///< unreadable loose entries skipped
+  };
+  CompactStats compact() const;
+
  private:
+  struct Loc {
+    std::uint32_t segment = 0;  ///< index into segments_
+    std::uint64_t offset = 0;   ///< payload byte offset within the segment
+    std::uint32_t length = 0;   ///< payload byte length
+  };
+  struct FpHash {
+    std::size_t operator()(const Fingerprint& f) const {
+      return static_cast<std::size_t>(f.hi * 0x9e3779b97f4a7c15ULL ^ f.lo);
+    }
+  };
+  struct Segment {
+    std::string path;
+    int fd = -1;  ///< O_RDONLY for loaded segments; O_RDWR for the active one
+  };
+
+  void load_segments_locked() const;
+  bool load_one_segment_locked(const std::string& path) const;
+  bool ensure_active_locked() const;
+  void seal_active_locked() const;
+  void flush_locked() const;
+  std::optional<ExperimentOutcome> lookup_loose(const ExperimentSpec& spec,
+                                                std::uint64_t* bytes) const;
+  void store_loose(const ExperimentSpec& spec, const std::string& bytes) const;
+  void store_packed(const Fingerprint& fp, const std::string& bytes) const;
+
   std::string dir_;
   std::uint32_t format_version_;
+  SweepCacheOptions options_;
+
+  mutable std::mutex mu_;
+  mutable std::vector<Segment> segments_;
+  mutable std::unordered_map<Fingerprint, Loc, FpHash> index_;
+  mutable std::int32_t active_segment_ = -1;  ///< index into segments_
+  mutable std::uint64_t active_offset_ = 0;
+  mutable std::vector<std::pair<Fingerprint, Loc>> active_records_;
+  mutable std::uint64_t pending_records_ = 0;  ///< appended since last fsync
+  mutable bool active_broken_ = false;  ///< append failed; stop packing
+  mutable bool loose_dir_dirty_ = false;       ///< Batch-durability renames
+  mutable Stats stats_;
 };
 
 }  // namespace asyncrv::runner

@@ -6,8 +6,18 @@
 namespace asyncrv::runner {
 
 const char* PipelineCli::flags_help() {
-  return "[--csv <path>] [--jsonl <path>] [--cache-dir <dir>] [--threads <n>] "
-         "[--batch]";
+  return "[--csv <path>] [--jsonl <path>] [--cache-dir <dir>] "
+         "[--packed-cache] [--batch-durability] [--threads <n>] [--batch] "
+         "[--progress]";
+}
+
+SweepCacheOptions PipelineCli::cache_options() const {
+  SweepCacheOptions copts;
+  copts.packed = packed_cache_;
+  copts.durability = batch_durability_
+                         ? SweepCacheOptions::Durability::Batch
+                         : SweepCacheOptions::Durability::Strict;
+  return copts;
 }
 
 std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
@@ -25,7 +35,13 @@ std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
     } else if (arg == "--jsonl") {
       jsonl_ = std::make_unique<JsonlSink>(value());
     } else if (arg == "--cache-dir") {
-      cache_ = std::make_unique<SweepCache>(value());
+      cache_dir_ = value();
+    } else if (arg == "--packed-cache") {
+      packed_cache_ = true;
+    } else if (arg == "--batch-durability") {
+      batch_durability_ = true;
+    } else if (arg == "--progress") {
+      progress_ = true;
     } else if (arg == "--threads") {
       const std::string v = value();
       std::size_t pos = 0;
@@ -44,6 +60,11 @@ std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
     } else {
       rest.push_back(arg);
     }
+  }
+  // Deferred so --packed-cache / --batch-durability apply regardless of
+  // their position relative to --cache-dir.
+  if (!cache_dir_.empty()) {
+    cache_ = std::make_unique<SweepCache>(cache_dir_, cache_options());
   }
   return rest;
 }
@@ -65,6 +86,7 @@ PipelineOptions PipelineCli::options() const {
   PipelineOptions opts;
   opts.threads = threads_;
   opts.batch = batch_;
+  opts.progress = progress_;
   if (csv_) opts.sinks.push_back(csv_.get());
   if (jsonl_) opts.sinks.push_back(jsonl_.get());
   opts.cache = cache_.get();

@@ -6,9 +6,15 @@
 //   --csv <path>       write the sweep table as CSV
 //   --jsonl <path>     write the sweep table as JSON Lines
 //   --cache-dir <dir>  persistent sweep cache (created if missing)
+//   --packed-cache     append cache writes to pack segments with
+//                      group-commit fsync (cache.h; reads see both forms)
+//   --batch-durability loose-file stores skip per-entry fsyncs; the
+//                      directory is fsync'd once per pipeline flush
 //   --threads <n>      worker threads (default: hardware concurrency)
 //   --batch            batched lockstep execution of rendezvous cells
 //                      (sim/batch_engine.h; bit-identical output)
+//   --progress         throttled cells/sec + ETA meter on stderr
+//                      (sink bytes untouched)
 //
 // PipelineCli::parse consumes those flags (throwing std::logic_error on
 // malformed input) and returns the remaining arguments for the tool's own
@@ -50,13 +56,22 @@ class PipelineCli {
   const SweepCache* cache() const { return cache_.get(); }
   int threads() const { return threads_; }
   bool batch() const { return batch_; }
+  bool progress() const { return progress_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+  /// The cache options the flags resolved to (what parse() constructed the
+  /// cache with) — lets drivers open per-worker caches configured the same.
+  SweepCacheOptions cache_options() const;
 
  private:
   std::unique_ptr<CsvSink> csv_;
   std::unique_ptr<JsonlSink> jsonl_;
   std::unique_ptr<SweepCache> cache_;
+  std::string cache_dir_;
   int threads_ = 0;
   bool batch_ = false;
+  bool packed_cache_ = false;
+  bool batch_durability_ = false;
+  bool progress_ = false;
 };
 
 }  // namespace asyncrv::runner

@@ -3,6 +3,8 @@
 #include "runner/batch.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -57,6 +59,51 @@ void record_callback_error(ExperimentOutcome& out, const std::exception& e) {
   out.error += std::string("on_outcome callback threw: ") + e.what();
   out.status = RunStatus::Error;
 }
+
+/// Throttled cells/sec + ETA meter on stderr (PipelineOptions::progress).
+/// stderr only — sinks and the report never see it, so the byte-identity
+/// gates on JSONL/CSV are untouched by the flag.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::size_t total)
+      : enabled_(enabled), total_(total),
+        start_(std::chrono::steady_clock::now()), last_(start_) {}
+
+  void tick() {
+    if (!enabled_) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    const auto now = std::chrono::steady_clock::now();
+    if (done_ < total_ && now - last_ < std::chrono::milliseconds(250)) return;
+    last_ = now;
+    print(now, done_ == total_);
+  }
+
+  ~ProgressMeter() {
+    if (!enabled_) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (done_ != total_) print(std::chrono::steady_clock::now(), true);
+  }
+
+ private:
+  void print(std::chrono::steady_clock::time_point now, bool final) {
+    const double secs =
+        std::chrono::duration<double>(now - start_).count();
+    const double rate = secs > 0 ? static_cast<double>(done_) / secs : 0.0;
+    const double eta =
+        rate > 0 ? static_cast<double>(total_ - done_) / rate : 0.0;
+    std::fprintf(stderr, "\rprogress: %zu/%zu cells, %.0f cells/sec, ETA %.0fs",
+                 done_, total_, rate, eta);
+    if (final) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+
+  const bool enabled_;
+  const std::size_t total_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point start_, last_;
+};
 
 }  // namespace
 
@@ -184,6 +231,7 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
   PipelineReport report;
   report.outcomes.resize(specs.size());
 
+  ProgressMeter progress(options_.progress, specs.size());
   std::mutex stream_mutex;
   const auto deliver = [&](const ExperimentSpec& spec, ExperimentOutcome& out) {
     if (!options_.on_outcome) return;
@@ -207,6 +255,7 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
         ++report.cache_hits;
         deliver(specs[i], *cached);
         report.outcomes[i] = std::move(*cached);
+        progress.tick();
       } else {
         misses.push_back(i);
       }
@@ -260,6 +309,7 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
         options_.cache->store(specs[i], out);
       }
       deliver(specs[i], out);
+      progress.tick();
     };
     while (true) {
       const std::size_t j = next.fetch_add(1);
@@ -290,6 +340,11 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
     for (std::thread& t : pool) t.join();
   }
   report.batched = batched.load();
+
+  // Group commit: whatever the cache buffered during this run (packed
+  // appends, or Batch-durability loose renames) becomes durable with one
+  // fsync here instead of one per cell.
+  if (options_.cache) options_.cache->flush();
 
   report.graph_stats = graphs->stats();
 

@@ -114,6 +114,10 @@ struct PipelineOptions {
   bool batch = false;
   /// Max lanes per formed batch (batch mode only).
   std::size_t batch_size = 256;
+  /// Print a throttled cells/sec + ETA line to stderr as outcomes land
+  /// (served or executed). Off by default — stderr chatter only; the
+  /// report and every sink byte are unaffected either way.
+  bool progress = false;
   /// Streamed per-outcome callback, invoked as scenarios finish or are
   /// loaded from cache (serialized by the pipeline; arbitrary order). A
   /// throw is contained and marks the outcome errored — after the outcome

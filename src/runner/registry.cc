@@ -5,6 +5,7 @@
 
 #include "graph/builders.h"
 #include "runner/encoding.h"
+#include "util/prng.h"
 
 namespace asyncrv::runner {
 
@@ -236,6 +237,25 @@ std::vector<ExperimentSpec> e9_battery() {
       rv.seed = battery_seed(adv, 0xE9);
       specs.push_back({.name = "", .scenario = std::move(rv)});
     }
+  }
+  return specs;
+}
+
+std::vector<ExperimentSpec> scale_grid(std::uint64_t cells,
+                                       std::uint64_t budget,
+                                       std::uint64_t seed) {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(cells);
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    RendezvousSpec rv;
+    rv.graph = "ring:8";
+    rv.adversary = "random";
+    rv.labels = {5, 12};
+    rv.budget = budget;
+    // Same per-cell derivation rendezvous_grid uses, indexed by position so
+    // the family is prefix-stable.
+    rv.seed = splitmix64(seed ^ (i + 1));
+    specs.push_back({.name = "", .scenario = std::move(rv)});
   }
   return specs;
 }

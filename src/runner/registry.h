@@ -84,4 +84,16 @@ PPoly make_ppoly(const std::string& profile);
 /// battery" fingerprints identically everywhere it is run.
 std::vector<ExperimentSpec> e9_battery();
 
+/// The scale-sweep grid: `cells` rendezvous cells on one small graph with
+/// per-cell derived seeds — the workload of the million-cell regime
+/// (bench_sweep_scale, `rv_cli sweep scale`, the CI sweep-scale-smoke job).
+/// Deliberately seed-varied rather than parameter-varied: every cell is an
+/// independent schedule sample, cheap enough (small budget) that a 10^6
+/// sweep is store-bound, which is exactly what the packed cache must beat.
+/// Deterministic in (cells, budget, seed), and a prefix-stable family: the
+/// first N cells of scale_grid(M >= N, ...) equal scale_grid(N, ...).
+std::vector<ExperimentSpec> scale_grid(std::uint64_t cells,
+                                       std::uint64_t budget = 256,
+                                       std::uint64_t seed = 0x5ca1e);
+
 }  // namespace asyncrv::runner

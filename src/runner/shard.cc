@@ -1,0 +1,220 @@
+#include "runner/shard.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "runner/encoding.h"
+#include "runner/pipeline.h"
+
+namespace asyncrv::runner {
+
+int shard_of(const Fingerprint& fp, int shards) {
+  if (shards <= 1) return 0;
+  // The fingerprint is FNV-1a-128 of the canonical spec — already
+  // uniformly mixed, so a plain modulus partitions evenly. Using only
+  // arithmetic on the published (hi, lo) pair keeps the partition part of
+  // the cache's stability contract: any process that can fingerprint a
+  // spec can compute its shard.
+  return static_cast<int>((fp.hi ^ fp.lo) % static_cast<std::uint64_t>(shards));
+}
+
+std::vector<std::vector<std::size_t>> plan_shards(
+    const std::vector<ExperimentSpec>& specs, int shards) {
+  if (shards < 1) throw std::logic_error("shard count must be >= 1");
+  std::vector<std::vector<std::size_t>> plan(
+      static_cast<std::size_t>(shards));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    plan[static_cast<std::size_t>(shard_of(specs[i].fingerprint(), shards))]
+        .push_back(i);
+  }
+  return plan;
+}
+
+ShardWorkerStats run_shard(const std::vector<ExperimentSpec>& specs,
+                           const std::vector<std::size_t>& shard,
+                           const ShardWorkerOptions& options) {
+  ShardWorkerStats stats;
+  stats.cells = shard.size();
+
+  std::vector<ExperimentSpec> mine;
+  mine.reserve(shard.size());
+  for (const std::size_t i : shard) mine.push_back(specs[i]);
+
+  SweepCacheOptions copts = options.cache;
+  PipelineOptions popts;
+  popts.threads = options.threads;
+  popts.batch = options.batch;
+  popts.batch_size = options.batch_size;
+  popts.progress = options.progress;
+  std::uint64_t delivered = 0;
+  if (options.kill_after > 0) {
+    // Deterministic fault injection: single-threaded, explicit-flush-only,
+    // so outcomes commit strictly in shard order and the durable prefix at
+    // the kill is exactly kill_after cells (the resumption acceptance test
+    // counts on it).
+    popts.threads = 1;
+    copts.flush_every = 0;
+  }
+
+  // Scoped so the cache seals its segment before we return (and before a
+  // forked worker _exits without running static destructors).
+  {
+    SweepCache cache(options.cache_dir, copts);
+    popts.cache = &cache;
+    if (options.kill_after > 0) {
+      popts.on_outcome = [&](const ExperimentSpec&,
+                             const ExperimentOutcome&) {
+        if (++delivered < options.kill_after) return;
+        // Commit exactly this prefix, then die the hard way.
+        cache.flush();
+        ::kill(::getpid(), SIGKILL);
+        ::pause();  // unreachable; SIGKILL cannot be handled
+      };
+    }
+    const PipelineReport report = ExperimentPipeline(popts).run(std::move(mine));
+    stats.hits = report.cache_hits;
+    stats.executed = report.executed;
+    const SweepCache::Stats cs = cache.stats();
+    stats.fsyncs = cs.fsyncs;
+    stats.store_bytes = cs.store_bytes;
+  }
+  return stats;
+}
+
+bool ShardRun::ok() const {
+  for (const ShardWorkerResult& w : workers) {
+    if (!WIFEXITED(w.wait_status) || WEXITSTATUS(w.wait_status) != 0 ||
+        !w.reported) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t ShardRun::total(
+    std::uint64_t ShardWorkerStats::*field) const {
+  std::uint64_t sum = 0;
+  for (const ShardWorkerResult& w : workers) sum += w.stats.*field;
+  return sum;
+}
+
+ShardRun run_sharded(const std::vector<ExperimentSpec>& specs,
+                     const ShardDriverOptions& options) {
+  ShardRun run;
+  const auto plan = plan_shards(specs, options.shards);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("run_sharded: pipe() failed");
+  }
+
+  // Inherited stdio buffers would be flushed once per child on _exit,
+  // duplicating anything pending — settle them before forking.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  for (int k = 0; k < options.shards; ++k) {
+    const auto& shard = plan[static_cast<std::size_t>(k)];
+    if (shard.empty()) continue;
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      throw std::runtime_error("run_sharded: fork() failed");
+    }
+    if (pid == 0) {
+      // Worker: execute the shard, report one stats line, and _exit —
+      // never return into the parent's stack.
+      ::close(pipe_fds[0]);
+      int code = 1;
+      std::string line;
+      try {
+        ShardWorkerOptions wopts;
+        wopts.cache_dir = options.cache_dir;
+        wopts.cache = options.cache;
+        wopts.threads = options.threads_per_worker;
+        wopts.batch = options.batch;
+        wopts.batch_size = options.batch_size;
+        wopts.progress = options.progress;
+        if (k == options.kill_worker) wopts.kill_after = options.kill_after;
+        const ShardWorkerStats s = run_shard(specs, shard, wopts);
+        line = "shard " + std::to_string(k) + " cells " +
+               std::to_string(s.cells) + " hits " + std::to_string(s.hits) +
+               " executed " + std::to_string(s.executed) + " fsyncs " +
+               std::to_string(s.fsyncs) + " store_bytes " +
+               std::to_string(s.store_bytes) + "\n";
+        code = 0;
+      } catch (const std::exception& e) {
+        line = "shard " + std::to_string(k) + " error " +
+               percent_escape(e.what()) + "\n";
+      }
+      // One line well under PIPE_BUF: the write is atomic, so concurrent
+      // workers' reports never interleave mid-line.
+      (void)!::write(pipe_fds[1], line.data(), line.size());
+      ::_exit(code);
+    }
+    ShardWorkerResult res;
+    res.shard = k;
+    res.pid = pid;
+    res.stats.cells = shard.size();
+    run.workers.push_back(res);
+  }
+  ::close(pipe_fds[1]);  // parent holds only the read end
+
+  for (ShardWorkerResult& w : run.workers) {
+    int status = 0;
+    while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    w.wait_status = status;
+  }
+
+  // Drain the stats lines (EOF is guaranteed: every write end is closed).
+  std::string blob;
+  char buf[4096];
+  for (;;) {
+    const ::ssize_t n = ::read(pipe_fds[0], buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    blob.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipe_fds[0]);
+
+  LineReader in(blob);
+  while (const auto line = in.line()) {
+    const auto f = split(*line, ' ');
+    if (f.size() != 12 || f[0] != "shard") continue;  // error line or torn
+    const auto shard = LineReader::parse_u64(f[1]);
+    const auto cells = f[2] == "cells" ? LineReader::parse_u64(f[3])
+                                       : std::optional<std::uint64_t>();
+    const auto hits = f[4] == "hits" ? LineReader::parse_u64(f[5])
+                                     : std::optional<std::uint64_t>();
+    const auto executed = f[6] == "executed" ? LineReader::parse_u64(f[7])
+                                             : std::optional<std::uint64_t>();
+    const auto fsyncs = f[8] == "fsyncs" ? LineReader::parse_u64(f[9])
+                                         : std::optional<std::uint64_t>();
+    const auto bytes = f[10] == "store_bytes"
+                           ? LineReader::parse_u64(f[11])
+                           : std::optional<std::uint64_t>();
+    if (!shard || !cells || !hits || !executed || !fsyncs || !bytes) continue;
+    for (ShardWorkerResult& w : run.workers) {
+      if (static_cast<std::uint64_t>(w.shard) != *shard) continue;
+      w.reported = true;
+      w.stats.cells = *cells;
+      w.stats.hits = *hits;
+      w.stats.executed = *executed;
+      w.stats.fsyncs = *fsyncs;
+      w.stats.store_bytes = *bytes;
+      break;
+    }
+  }
+  return run;
+}
+
+}  // namespace asyncrv::runner

@@ -39,7 +39,9 @@ void make_pipe(int& rd, int& wr) {
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.jobs < 1) options_.jobs = 1;
   if (options_.max_queue < 0) options_.max_queue = 0;
-  if (!options_.cache_dir.empty()) cache_.emplace(options_.cache_dir);
+  if (!options_.cache_dir.empty()) {
+    cache_.emplace(options_.cache_dir, options_.cache);
+  }
 }
 
 Server::~Server() {
@@ -212,6 +214,11 @@ void Server::drain_outbox() {
     if (out.job_done) {
       --in_flight_;
       ++jobs_completed_;
+      // Group-commit boundary: everything the finished job stored is
+      // crash-durable before its `done` frame reaches the client. (The
+      // pipeline already flushed at end of run; this is a cheap no-op
+      // backstop that pins the contract at the protocol layer.)
+      if (cache_) cache_->flush();
       if (options_.memory_cap > 0) graphs_.evict_until(options_.memory_cap);
       if (draining_ && in_flight_ == 0) finish_drain();
     }

@@ -65,6 +65,10 @@ struct ServerOptions {
   std::string socket_path = "/tmp/asyncrvd.sock";
   /// Sweep-cache directory; empty = no persistent cache.
   std::string cache_dir;
+  /// Store behaviour of the sweep cache (packed segments, durability).
+  /// A long-lived daemon serving large sweeps wants `packed = true` —
+  /// group-commit fsync instead of two fsyncs per cell (DESIGN.md §10).
+  runner::SweepCacheOptions cache;
   /// LRU-evict interned graphs down to this many resident bytes after
   /// every job; 0 = uncapped.
   std::uint64_t memory_cap = 0;

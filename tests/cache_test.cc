@@ -3,6 +3,9 @@
 // tolerance contract (a bad entry is a miss, never an error).
 #include "runner/cache.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -359,6 +362,71 @@ TEST(Cache, CachedErrorsAreServedWithoutReexecution) {
   EXPECT_EQ(second.executed, 0u);
   EXPECT_EQ(second.totals.errored, 1u);
   EXPECT_EQ(second.outcomes[0].error, first.outcomes[0].error);
+}
+
+TEST(Cache, TwoProcessesRacingTheSameLooseEntryNeverTearIt) {
+  // Concurrent sweeps sharing a directory may store the SAME fingerprint
+  // at the same time. The tmp-file + atomic-rename discipline makes that
+  // a benign last-writer-wins race: at every moment the entry either does
+  // not exist or is one writer's complete bytes — never a splice.
+  const std::string dir = fresh_dir("race");
+  const runner::ExperimentSpec spec = rv_spec();
+  const runner::ExperimentOutcome outcome = runner::run_experiment(spec);
+  constexpr int kRounds = 200;
+
+  const ::pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const runner::SweepCache cache(dir);
+    for (int i = 0; i < kRounds; ++i) cache.store(spec, outcome);
+    ::_exit(0);
+  }
+  const runner::SweepCache cache(dir);
+  std::uint64_t observed = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    cache.store(spec, outcome);
+    // Interleave lookups with the racing stores: every hit must decode
+    // (decode_outcome's strict trailer catches any torn file).
+    const auto hit = cache.lookup(spec);
+    if (hit.has_value()) {
+      ++observed;
+      EXPECT_EQ(hit->status, outcome.status);
+      EXPECT_EQ(hit->cost, outcome.cost);
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(observed, static_cast<std::uint64_t>(kRounds));
+
+  // Both writers encoded the same spec, so the surviving file decodes to
+  // the identical outcome no matter who won the last rename.
+  const auto final_hit = cache.lookup(spec);
+  ASSERT_TRUE(final_hit.has_value());
+  EXPECT_EQ(final_hit->cost, outcome.cost);
+}
+
+TEST(Cache, BatchDurabilityAmortizesFsyncsToOnePerFlush) {
+  // Strict (default) pays two fsyncs per store (entry + directory);
+  // Batch pays zero per store and one directory fsync per flush().
+  const runner::ExperimentSpec spec = rv_spec();
+  const runner::ExperimentOutcome outcome = runner::run_experiment(spec);
+  constexpr std::uint64_t kStores = 5;
+
+  const runner::SweepCache strict(fresh_dir("durability_strict"));
+  for (std::uint64_t i = 0; i < kStores; ++i) strict.store(spec, outcome);
+  EXPECT_EQ(strict.stats().fsyncs, 2 * kStores);
+
+  runner::SweepCacheOptions bopts;
+  bopts.durability = runner::SweepCacheOptions::Durability::Batch;
+  const runner::SweepCache batch(fresh_dir("durability_batch"), bopts);
+  for (std::uint64_t i = 0; i < kStores; ++i) batch.store(spec, outcome);
+  EXPECT_EQ(batch.stats().fsyncs, 0u);
+  batch.flush();
+  EXPECT_EQ(batch.stats().fsyncs, 1u);
+  batch.flush();  // nothing pending — no extra fsync
+  EXPECT_EQ(batch.stats().fsyncs, 1u);
+  EXPECT_TRUE(batch.lookup(spec).has_value());
 }
 
 }  // namespace

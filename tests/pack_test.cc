@@ -1,0 +1,284 @@
+// The packed sweep-cache store (asyncrv.cachepack.v1, DESIGN.md §10):
+// append/seal/reopen round-trips, the footer fast path vs the scan
+// fallback, torn-tail recovery (corruption degrades to misses only past
+// the last valid record), loose/packed interop, offline compaction, and
+// multi-process append discipline.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/cache.h"
+#include "runner/pipeline.h"
+#include "runner/registry.h"
+
+namespace asyncrv {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("asyncrv_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+runner::SweepCacheOptions packed_options() {
+  runner::SweepCacheOptions o;
+  o.packed = true;
+  return o;
+}
+
+/// The `*.cachepack` files currently in `dir`, sorted.
+std::vector<std::string> segment_paths(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".cachepack") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Payload-region size of a sealed segment — the idx_offset its footer
+/// line records. Fails the test on a malformed footer.
+std::size_t sealed_payload_end(const std::string& segment_bytes) {
+  const auto at = segment_bytes.rfind("footer ");
+  EXPECT_NE(at, std::string::npos);
+  return static_cast<std::size_t>(
+      std::stoull(segment_bytes.substr(at + 7)));
+}
+
+/// Populates `dir` with the outcomes of `specs` through one packed cache
+/// object (sealed on return).
+void populate_packed(const std::string& dir,
+                     const std::vector<runner::ExperimentSpec>& specs) {
+  const runner::SweepCache cache(dir, packed_options());
+  for (const auto& spec : specs) cache.store(spec, runner::run_experiment(spec));
+}
+
+std::uint64_t count_hits(const std::string& dir,
+                         const std::vector<runner::ExperimentSpec>& specs) {
+  const runner::SweepCache cache(dir, packed_options());
+  std::uint64_t hits = 0;
+  for (const auto& spec : specs) hits += cache.lookup(spec).has_value();
+  return hits;
+}
+
+TEST(Pack, StoreSealReopenServesEveryRecord) {
+  const std::string dir = fresh_dir("pack_roundtrip");
+  const auto specs = runner::scale_grid(24);
+  populate_packed(dir, specs);
+
+  // One sealed segment on disk, ending in a footer index.
+  const auto segs = segment_paths(dir);
+  ASSERT_EQ(segs.size(), 1u);
+  const std::string bytes = read_file(segs[0]);
+  EXPECT_EQ(bytes.rfind("asyncrv.cachepack.v1\n", 0), 0u);
+  EXPECT_NE(bytes.rfind("footer "), std::string::npos);
+
+  const runner::SweepCache cache(dir, packed_options());
+  const auto cs = cache.stats();
+  EXPECT_EQ(cs.segments, 1u);
+  EXPECT_EQ(cs.pack_records, specs.size());
+  for (const auto& spec : specs) {
+    const auto hit = cache.lookup(spec);
+    ASSERT_TRUE(hit.has_value());
+    // Exact substitution: identical to a live run of the same spec.
+    const auto live = runner::run_experiment(spec);
+    EXPECT_EQ(hit->status, live.status);
+    EXPECT_EQ(hit->cost, live.cost);
+  }
+  EXPECT_EQ(cache.stats().pack_hits, specs.size());
+}
+
+TEST(Pack, WarmPipelineRunExecutesNothing) {
+  const std::string dir = fresh_dir("pack_warm");
+  const auto specs = runner::scale_grid(32);
+  {
+    const runner::SweepCache cache(dir, packed_options());
+    runner::PipelineOptions popts;
+    popts.threads = 1;
+    popts.batch = true;
+    popts.cache = &cache;
+    const auto cold = runner::ExperimentPipeline(popts).run(specs);
+    EXPECT_EQ(cold.executed, specs.size());
+  }
+  const runner::SweepCache cache(dir, packed_options());
+  runner::PipelineOptions popts;
+  popts.threads = 1;
+  popts.batch = true;
+  popts.cache = &cache;
+  const auto warm = runner::ExperimentPipeline(popts).run(specs);
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.cache_hits, specs.size());
+}
+
+TEST(Pack, CorruptedFooterFallsBackToScan) {
+  const std::string dir = fresh_dir("pack_badfooter");
+  const auto specs = runner::scale_grid(16);
+  populate_packed(dir, specs);
+  const auto segs = segment_paths(dir);
+  ASSERT_EQ(segs.size(), 1u);
+
+  // Garble the footer line: the fast path must reject it and the scan
+  // must still recover every record (they all precede the index block).
+  std::string bytes = read_file(segs[0]);
+  const auto at = bytes.rfind("footer ");
+  ASSERT_NE(at, std::string::npos);
+  bytes.replace(at, 7, "fooper ");
+  write_file(segs[0], bytes);
+
+  EXPECT_EQ(count_hits(dir, specs), specs.size());
+}
+
+TEST(Pack, TruncationMidRecordKeepsThePrefixAndHeals) {
+  const std::string dir = fresh_dir("pack_torn");
+  const auto specs = runner::scale_grid(20);
+  populate_packed(dir, specs);
+  const auto segs = segment_paths(dir);
+  ASSERT_EQ(segs.size(), 1u);
+
+  // Cut the file mid-way through the LAST record's payload (and drop the
+  // footer with it) — the unsealed-crash shape. The scan must keep every
+  // record before the torn byte and miss only the tail.
+  const std::string bytes = read_file(segs[0]);
+  const std::size_t payload_end = sealed_payload_end(bytes);
+  ASSERT_GT(payload_end, 10u);
+  write_file(segs[0], bytes.substr(0, payload_end - 10));
+
+  EXPECT_EQ(count_hits(dir, specs), specs.size() - 1);
+
+  // A pipeline re-run heals: exactly the torn cell re-executes, and the
+  // run after that is fully warm again.
+  {
+    const runner::SweepCache cache(dir, packed_options());
+    runner::PipelineOptions popts;
+    popts.threads = 1;
+    popts.batch = true;
+    popts.cache = &cache;
+    const auto report = runner::ExperimentPipeline(popts).run(specs);
+    EXPECT_EQ(report.cache_hits, specs.size() - 1);
+    EXPECT_EQ(report.executed, 1u);
+  }
+  EXPECT_EQ(count_hits(dir, specs), specs.size());
+}
+
+TEST(Pack, LooseAndPackedWritersInteroperate) {
+  const std::string dir = fresh_dir("pack_interop");
+  const auto specs = runner::scale_grid(12);
+  {
+    // Half loose (default store path), half packed, same directory.
+    const runner::SweepCache loose(dir);
+    const runner::SweepCache packed(dir, packed_options());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& c = i % 2 == 0 ? loose : packed;
+      c.store(specs[i], runner::run_experiment(specs[i]));
+    }
+  }
+  // Any reader sees both representations.
+  const runner::SweepCache cache(dir);
+  for (const auto& spec : specs) EXPECT_TRUE(cache.lookup(spec).has_value());
+  const auto cs = cache.stats();
+  EXPECT_EQ(cs.pack_hits, specs.size() / 2);
+  EXPECT_EQ(cs.loose_hits, specs.size() / 2);
+}
+
+TEST(Pack, CompactMergesSegmentsAndMigratesLooseFiles) {
+  const std::string dir = fresh_dir("pack_compact");
+  const auto specs = runner::scale_grid(18);
+  {
+    const runner::SweepCache loose(dir);
+    const runner::SweepCache packed_a(dir, packed_options());
+    const runner::SweepCache packed_b(dir, packed_options());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& c =
+          i % 3 == 0 ? loose : (i % 3 == 1 ? packed_a : packed_b);
+      c.store(specs[i], runner::run_experiment(specs[i]));
+    }
+  }
+  // Plus one unreadable loose entry that compaction must drop, not copy.
+  write_file(dir + "/0123456789abcdef0123456789abcdef.outcome", "garbage");
+
+  const runner::SweepCache cache(dir);
+  const auto cs = cache.compact();
+  EXPECT_EQ(cs.records, specs.size());
+  EXPECT_EQ(cs.loose_migrated, specs.size() / 3);
+  EXPECT_EQ(cs.segments_merged, 2u);
+  EXPECT_EQ(cs.invalid_dropped, 1u);
+
+  // One sealed segment remains; the migrated loose files are gone; every
+  // record still serves — through the same (post-compact) cache object and
+  // through a fresh open.
+  EXPECT_EQ(segment_paths(dir).size(), 1u);
+  std::size_t loose_left = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    loose_left += e.path().extension() == ".outcome";
+  }
+  EXPECT_EQ(loose_left, 1u);  // only the invalid entry is left behind
+  for (const auto& spec : specs) EXPECT_TRUE(cache.lookup(spec).has_value());
+  EXPECT_EQ(count_hits(dir, specs), specs.size());
+}
+
+TEST(Pack, GarbageSegmentFileIsIgnored) {
+  const std::string dir = fresh_dir("pack_garbage");
+  const auto specs = runner::scale_grid(8);
+  populate_packed(dir, specs);
+  write_file(dir + "/junk.cachepack", "not a segment at all\nrec zz qq\n");
+  write_file(dir + "/empty.cachepack", "");
+  EXPECT_EQ(count_hits(dir, specs), specs.size());
+}
+
+TEST(Pack, TwoProcessesAppendPrivateSegmentsSafely) {
+  const std::string dir = fresh_dir("pack_twoproc");
+  const auto specs = runner::scale_grid(16);
+  const std::size_t half = specs.size() / 2;
+
+  const ::pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: its own cache object, its own segment, first half.
+    {
+      const runner::SweepCache cache(dir, packed_options());
+      for (std::size_t i = 0; i < half; ++i) {
+        cache.store(specs[i], runner::run_experiment(specs[i]));
+      }
+    }
+    ::_exit(0);
+  }
+  {
+    const runner::SweepCache cache(dir, packed_options());
+    for (std::size_t i = half; i < specs.size(); ++i) {
+      cache.store(specs[i], runner::run_experiment(specs[i]));
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  // Two private segments, no interleaving, every record readable.
+  EXPECT_EQ(segment_paths(dir).size(), 2u);
+  EXPECT_EQ(count_hits(dir, specs), specs.size());
+}
+
+}  // namespace
+}  // namespace asyncrv
