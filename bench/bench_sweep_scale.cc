@@ -28,7 +28,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,23 @@ LaneResult finish(std::string scenario, std::uint64_t cells, double seconds,
 
 double elapsed_seconds(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The git_rev recorded in an existing baseline JSON, or "" if the file
+/// is absent/unparseable — same stale-baseline guard bench_engine_hot
+/// applies to BENCH_engine.json: comparing numbers across revs silently
+/// is how stale baselines hide regressions.
+std::string baseline_rev(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string key = "\"git_rev\": \"";
+  const auto at = text.find(key);
+  if (at == std::string::npos) return "";
+  const auto end = text.find('"', at + key.size());
+  if (end == std::string::npos) return "";
+  return text.substr(at + key.size(), end - (at + key.size()));
 }
 
 std::string git_rev() {
@@ -282,6 +301,12 @@ int main(int argc, char** argv) {
 
   const std::string rev = git_rev();
   if (!json_path.empty()) {
+    const std::string prior = baseline_rev(json_path);
+    if (!prior.empty() && prior != rev && rev != "unknown") {
+      std::cerr << "warning: " << json_path << " was generated at git_rev "
+                << prior << " but HEAD is " << rev
+                << " — regenerate the tracked baseline before comparing\n";
+    }
     write_json(json_path, rev, results);
     std::printf("wrote %s (git_rev %s)\n", json_path.c_str(), rev.c_str());
   }

@@ -39,7 +39,7 @@
 //
 //   rv_cli daemon start [--socket S] [--cache-dir D] [--memory-cap B]
 //                       [--jobs N] [--foreground]
-//   rv_cli daemon status | ping | drain | stop | evict [bytes]
+//   rv_cli daemon status | ping | metrics | drain | stop | evict [bytes]
 //   rv_cli daemon run [family] [n] [label_a] [label_b] [adversary] [seed]
 //   rv_cli daemon sweep e9 [--jsonl <path>]
 //
@@ -335,6 +335,20 @@ int run_sweep_scale_mode(runner::PipelineCli& cli,
                 << " store_bytes=" << w.stats.store_bytes << "\n";
     }
   }
+  // Fleet totals: every worker's registry snapshot rode the stats pipe and
+  // merged into one cross-process view — print the headline counters.
+  if (!run.fleet_metrics.empty()) {
+    const auto c = [&](const char* name) -> std::uint64_t {
+      const auto it = run.fleet_metrics.counters.find(name);
+      return it == run.fleet_metrics.counters.end() ? 0 : it->second;
+    };
+    std::cout << "fleet metrics: cells=" << c("pipeline.cells")
+              << " hits=" << c("pipeline.cache_hits")
+              << " executed=" << c("pipeline.executed")
+              << " batched_lanes=" << c("pipeline.batched_lanes")
+              << " engine_sweeps=" << c("engine.sweeps") + c("batch.sweeps")
+              << " store_bytes=" << c("sweepcache.store_bytes") << "\n";
+  }
   if (!run.ok()) {
     // Never merge over a dead worker's hole: an in-process merge would
     // silently re-execute its missing cells and defeat every committed-cell
@@ -412,7 +426,7 @@ int daemon_usage() {
       << "usage: rv_cli daemon <command> [--socket <path>]\n"
       << "  start   [--cache-dir <dir>] [--memory-cap <bytes>] [--jobs <n>]\n"
       << "          [--queue <n>] [--no-batch] [--foreground]\n"
-      << "  status | ping | drain | stop | evict [bytes]\n"
+      << "  status | ping | metrics | drain | stop | evict [bytes]\n"
       << "  run     [family] [n] [label_a] [label_b] [adversary] [seed]\n"
       << "  sweep   e9 [--jsonl <path>]\n";
   return 1;
@@ -546,6 +560,20 @@ int run_daemon_mode(int argc, char** argv) {
       return 1;
     }
     std::cout << "pong\n";
+    return 0;
+  }
+
+  if (command == "metrics") {
+    // The daemon's live obs::MetricsRegistry snapshot, re-emitted in its
+    // exact asyncrv.metrics.v1 wire form (so the output pipes into any
+    // from_text consumer).
+    service::Client client = connect_or_die(sopts.socket_path);
+    const auto snap = client.metrics();
+    if (!snap) {
+      std::cerr << "error: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << snap->to_text();
     return 0;
   }
 

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace asyncrv::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Per-thread grip on a ring: acquired on the thread's first record, the
+/// ring is handed back to the tracer's free list when the thread exits.
+struct RingHandle {
+  Tracer::Ring* ring = nullptr;
+  std::uint32_t tid = 0;
+  ~RingHandle() {
+    if (ring != nullptr) Tracer::global().release_ring(ring);
+  }
+};
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::enable(std::size_t events_per_thread) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_cap_ = events_per_thread;
+  for (const auto& ring : rings_) {
+    const std::lock_guard<std::mutex> rlock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+    ring->capacity = ring_cap_;
+  }
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::uint64_t Tracer::now_ns() const {
+  const std::int64_t delta =
+      steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+  return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+Tracer::Ring* Tracer::acquire_ring() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    if (!ring->in_use) {
+      ring->in_use = true;
+      return ring.get();
+    }
+  }
+  rings_.push_back(std::make_unique<Ring>(ring_cap_));
+  rings_.back()->in_use = true;
+  return rings_.back().get();
+}
+
+void Tracer::release_ring(Ring* ring) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // The ring (and its recorded events) stays registered — spans recorded
+  // by an exited thread still export; the storage is merely adoptable by
+  // the next new thread.
+  ring->in_use = false;
+}
+
+void Tracer::record(const char* name, const char* cat, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  thread_local RingHandle handle;
+  if (handle.ring == nullptr) {
+    handle.ring = acquire_ring();
+    handle.tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Ring& ring = *handle.ring;
+  const TraceEvent ev{name, cat, start_ns, dur_ns, handle.tid};
+  const std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() < ring.capacity) {
+    ring.events.push_back(ev);
+  } else if (ring.capacity > 0) {
+    // Ring overwrite: keep the newest window, count the casualty.
+    ring.events[ring.next] = ev;
+    ring.next = (ring.next + 1) % ring.capacity;
+    ++ring.dropped;
+  } else {
+    ++ring.dropped;
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      const std::lock_guard<std::mutex> rlock(ring->mu);
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  // Parents before children: earlier start first; at equal starts the
+  // longer (enclosing) span first.
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.dur_ns > b.dur_ns;
+  });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const std::lock_guard<std::mutex> rlock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    const std::lock_guard<std::mutex> rlock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> evs = events();
+  const long pid = static_cast<long>(::getpid());
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    // ts/dur are microseconds; %.3f keeps full nanosecond precision.
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%ld,\"tid\":%u}",
+                  first ? "" : ",", ev.name, ev.cat,
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0, pid, ev.tid);
+    out += buf;
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_json();
+  return out.good();
+}
+
+}  // namespace asyncrv::obs

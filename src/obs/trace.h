@@ -1,0 +1,134 @@
+// Span-based tracing with Chrome trace_event export (DESIGN.md §11).
+//
+// The global Tracer is OFF by default and costs two relaxed loads + a
+// branch per ObsSpan while disabled — cheap enough to leave spans compiled
+// into the pipeline, daemon and shard driver hot paths permanently
+// (bench_engine_hot gates the tracked lanes at ≤1% with tracing compiled
+// in but disabled).
+//
+// When enabled (--trace-out on any PipelineCli tool, or on asyncrvd), each
+// recording thread owns a fixed-capacity ring buffer of completed spans;
+// the ring overwrites its oldest events when full (dropped() counts them),
+// so a runaway trace degrades to a recent-history window instead of
+// unbounded memory. Rings are owned by the tracer and survive thread exit
+// — a ring retired by a dying thread parks on a free list and is adopted
+// by the next new thread (events carry the recording thread's id, so
+// adoption never mixes attribution).
+//
+// Export is the Chrome trace_event JSON format — one "X" (complete) event
+// per span with microsecond timestamps — loadable in chrome://tracing and
+// Perfetto, and valid JSON for `python3 -m json.tool` (the CI obs-smoke
+// job does exactly that).
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer): record stores the pointers, never copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace asyncrv::obs {
+
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  std::uint64_t start_ns = 0;  ///< relative to the tracer's enable() epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;       ///< tracer-assigned recording-thread id
+};
+
+class Tracer {
+ public:
+  /// The global tracer (leaked like the metrics registry, for the same
+  /// static-destruction-order reason).
+  static Tracer& global();
+
+  /// Starts recording. Clears previously recorded events and re-zeroes
+  /// the timestamp epoch; `events_per_thread` caps each ring.
+  void enable(std::size_t events_per_thread = 1 << 16);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span to the calling thread's ring. No-op while
+  /// disabled (ObsSpan already checks, but record guards again so raw
+  /// callers cannot corrupt a disabled tracer).
+  void record(const char* name, const char* cat, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  /// Nanoseconds since the enable() epoch (monotonic).
+  std::uint64_t now_ns() const;
+
+  /// Every recorded event across all rings, sorted by (start_ns, dur_ns
+  /// descending) so parents precede their children.
+  std::vector<TraceEvent> events() const;
+
+  /// Events dropped to ring overwrite since enable().
+  std::uint64_t dropped() const;
+
+  /// The Chrome trace_event JSON document of events().
+  std::string chrome_json() const;
+
+  /// Writes chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Drops all recorded events (rings stay allocated and registered).
+  void clear();
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : capacity(cap) { events.reserve(cap); }
+    std::mutex mu;
+    std::size_t capacity;
+    std::vector<TraceEvent> events;  ///< ring storage, `next` is the seam
+    std::size_t next = 0;            ///< overwrite cursor once full
+    std::uint64_t dropped = 0;
+    bool in_use = false;             ///< owned by a live thread right now
+  };
+
+  friend struct RingHandle;
+  Ring* acquire_ring();
+  void release_ring(Ring* ring);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< rings_ registry + epoch
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t ring_cap_ = 1 << 16;
+  std::atomic<std::int64_t> epoch_ns_{0};  ///< steady-clock ns at enable()
+  std::atomic<std::uint32_t> next_tid_{1};
+};
+
+/// RAII span: construction stamps the start, destruction records the
+/// completed event. While the tracer is disabled both ends are a relaxed
+/// load and a branch. `name`/`cat` must be string literals.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name, const char* cat = "task")
+      : name_(name), cat_(cat) {
+    Tracer& t = Tracer::global();
+    if (!t.enabled()) return;
+    active_ = true;
+    start_ns_ = t.now_ns();
+  }
+
+  ~ObsSpan() {
+    if (!active_) return;
+    Tracer& t = Tracer::global();
+    if (!t.enabled()) return;  // disabled mid-span: drop it
+    t.record(name_, cat_, start_ns_, t.now_ns() - start_ns_);
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace asyncrv::obs

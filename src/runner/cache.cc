@@ -11,12 +11,35 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "runner/encoding.h"
 #include "sim/position.h"
 
 namespace asyncrv::runner {
 
 namespace {
+
+/// Process-wide mirror of the per-instance Stats (DESIGN.md §11), bumped
+/// at the exact sites that bump stats_ so the two views count the same
+/// events. Per-instance Stats stay authoritative for stats(); the registry
+/// sums across every SweepCache in the process.
+struct SweepCacheInstruments {
+  obs::Counter& lookups = obs::metrics().counter("sweepcache.lookups");
+  obs::Counter& hits = obs::metrics().counter("sweepcache.hits");
+  obs::Counter& pack_hits = obs::metrics().counter("sweepcache.pack_hits");
+  obs::Counter& loose_hits = obs::metrics().counter("sweepcache.loose_hits");
+  obs::Counter& stores = obs::metrics().counter("sweepcache.stores");
+  obs::Counter& store_bytes = obs::metrics().counter("sweepcache.store_bytes");
+  obs::Counter& fsyncs = obs::metrics().counter("sweepcache.fsyncs");
+  obs::Counter& segments = obs::metrics().counter("sweepcache.segments");
+  obs::Counter& pack_records =
+      obs::metrics().counter("sweepcache.pack_records");
+};
+
+SweepCacheInstruments& sc_in() {
+  static SweepCacheInstruments& in = *new SweepCacheInstruments();
+  return in;
+}
 
 std::string version_header(std::uint32_t format_version) {
   return "asyncrv.cache.v" + std::to_string(format_version);
@@ -574,6 +597,8 @@ bool SweepCache::load_one_segment_locked(const std::string& path) const {
   for (const auto& [fp, loc] : records) index_[fp] = loc;
   ++stats_.segments;
   stats_.pack_records += records.size();
+  sc_in().segments.add(1);
+  sc_in().pack_records.add(records.size());
   return true;
 }
 
@@ -583,6 +608,7 @@ std::optional<ExperimentOutcome> SweepCache::lookup(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.lookups;
+    sc_in().lookups.add(1);
     const auto it = index_.find(fp);
     if (it != index_.end()) {
       const Loc loc = it->second;
@@ -593,6 +619,8 @@ std::optional<ExperimentOutcome> SweepCache::lookup(
         if (out) {
           ++stats_.hits;
           ++stats_.pack_hits;
+          sc_in().hits.add(1);
+          sc_in().pack_hits.add(1);
           return out;
         }
         // Collision or damaged payload: fall through to the loose file.
@@ -605,6 +633,8 @@ std::optional<ExperimentOutcome> SweepCache::lookup(
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.hits;
     ++stats_.loose_hits;
+    sc_in().hits.add(1);
+    sc_in().loose_hits.add(1);
   }
   return out;
 }
@@ -677,10 +707,16 @@ void SweepCache::store_loose(const ExperimentSpec& spec,
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;
   stats_.store_bytes += bytes.size();
+  sc_in().stores.add(1);
+  sc_in().store_bytes.add(bytes.size());
   if (strict) {
     // And the directory entry itself, so the rename survives a crash too.
     ++stats_.fsyncs;  // the entry fsync above
-    if (fsync_dir(dir_)) ++stats_.fsyncs;
+    sc_in().fsyncs.add(1);
+    if (fsync_dir(dir_)) {
+      ++stats_.fsyncs;
+      sc_in().fsyncs.add(1);
+    }
   } else {
     loose_dir_dirty_ = true;  // flush() settles the directory once per batch
   }
@@ -714,6 +750,7 @@ bool SweepCache::ensure_active_locked() const {
     segments_.push_back(Segment{path, fd});
     active_offset_ = header_line.size();
     ++stats_.segments;
+    sc_in().segments.add(1);
     return true;
   }
   return false;
@@ -743,6 +780,9 @@ void SweepCache::store_packed(const Fingerprint& fp,
   ++stats_.stores;
   stats_.store_bytes += bytes.size();
   ++stats_.pack_records;
+  sc_in().stores.add(1);
+  sc_in().store_bytes.add(bytes.size());
+  sc_in().pack_records.add(1);
   if (options_.flush_every > 0 && pending_records_ >= options_.flush_every) {
     flush_locked();
   }
@@ -758,11 +798,15 @@ void SweepCache::flush_locked() const {
     const int fd = segments_[static_cast<std::size_t>(active_segment_)].fd;
     if (::fsync(fd) == 0) {
       ++stats_.fsyncs;
+      sc_in().fsyncs.add(1);
       pending_records_ = 0;
     }
   }
   if (loose_dir_dirty_) {
-    if (fsync_dir(dir_)) ++stats_.fsyncs;
+    if (fsync_dir(dir_)) {
+      ++stats_.fsyncs;
+      sc_in().fsyncs.add(1);
+    }
     loose_dir_dirty_ = false;
   }
 }
@@ -786,6 +830,7 @@ void SweepCache::seal_active_locked() const {
   const std::string footer = os.str();
   if (write_all(fd, footer.data(), footer.size()) && ::fsync(fd) == 0) {
     ++stats_.fsyncs;
+    sc_in().fsyncs.add(1);
   }
   active_segment_ = -1;
   active_offset_ = 0;
@@ -923,7 +968,11 @@ SweepCache::CompactStats SweepCache::compact() const {
       return cs;
     }
     ++stats_.fsyncs;
-    if (fsync_dir(dir_)) ++stats_.fsyncs;
+    sc_in().fsyncs.add(1);
+    if (fsync_dir(dir_)) {
+      ++stats_.fsyncs;
+      sc_in().fsyncs.add(1);
+    }
 
     // Now the old files are redundant: drop them and settle the directory.
     for (Segment& seg : segments_) {
@@ -938,7 +987,10 @@ SweepCache::CompactStats SweepCache::compact() const {
       std::error_code ec;
       std::filesystem::remove(p.loose_path, ec);
     }
-    if (fsync_dir(dir_)) ++stats_.fsyncs;
+    if (fsync_dir(dir_)) {
+      ++stats_.fsyncs;
+      sc_in().fsyncs.add(1);
+    }
 
     // Reload from disk: exactly one sealed segment now.
     segments_.clear();

@@ -3,12 +3,21 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace asyncrv::runner {
+
+PipelineCli::~PipelineCli() {
+  if (trace_out_.empty()) return;
+  if (!obs::Tracer::global().write_chrome_json(trace_out_)) {
+    std::cerr << "warning: could not write trace to " << trace_out_ << "\n";
+  }
+}
 
 const char* PipelineCli::flags_help() {
   return "[--csv <path>] [--jsonl <path>] [--cache-dir <dir>] "
          "[--packed-cache] [--batch-durability] [--threads <n>] [--batch] "
-         "[--progress]";
+         "[--progress] [--trace-out <path>]";
 }
 
 SweepCacheOptions PipelineCli::cache_options() const {
@@ -42,6 +51,12 @@ std::vector<std::string> PipelineCli::parse(int argc, char** argv) {
       batch_durability_ = true;
     } else if (arg == "--progress") {
       progress_ = true;
+    } else if (arg == "--trace-out") {
+      trace_out_ = value();
+      if (trace_out_.empty()) {
+        throw std::logic_error("empty --trace-out path");
+      }
+      obs::Tracer::global().enable();
     } else if (arg == "--threads") {
       const std::string v = value();
       std::size_t pos = 0;

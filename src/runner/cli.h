@@ -15,6 +15,9 @@
 //                      (sim/batch_engine.h; bit-identical output)
 //   --progress         throttled cells/sec + ETA meter on stderr
 //                      (sink bytes untouched)
+//   --trace-out <path> enable the span tracer for the process and write a
+//                      Chrome trace_event JSON (chrome://tracing /
+//                      Perfetto) when the CLI object is destroyed
 //
 // PipelineCli::parse consumes those flags (throwing std::logic_error on
 // malformed input) and returns the remaining arguments for the tool's own
@@ -35,6 +38,10 @@ namespace asyncrv::runner {
 
 class PipelineCli {
  public:
+  /// Writes the trace (if --trace-out was given) — the CLI outlives the
+  /// pipeline run, so destruction sees every span the run recorded.
+  ~PipelineCli();
+
   /// One usage line describing the shared flags, for tools' --help text.
   static const char* flags_help();
 
@@ -57,6 +64,7 @@ class PipelineCli {
   int threads() const { return threads_; }
   bool batch() const { return batch_; }
   bool progress() const { return progress_; }
+  const std::string& trace_out() const { return trace_out_; }
   const std::string& cache_dir() const { return cache_dir_; }
   /// The cache options the flags resolved to (what parse() constructed the
   /// cache with) — lets drivers open per-worker caches configured the same.
@@ -67,6 +75,7 @@ class PipelineCli {
   std::unique_ptr<JsonlSink> jsonl_;
   std::unique_ptr<SweepCache> cache_;
   std::string cache_dir_;
+  std::string trace_out_;
   int threads_ = 0;
   bool batch_ = false;
   bool packed_cache_ = false;

@@ -1,8 +1,33 @@
 #include "runner/graph_cache.h"
 
+#include "obs/metrics.h"
 #include "runner/registry.h"
 
 namespace asyncrv::runner {
+
+namespace {
+
+/// Process-wide mirror of the per-instance Stats (DESIGN.md §11): event
+/// counters sum across every GraphCache in the process; the residency
+/// gauges track the most recent instance to change (each instance's exact
+/// residency stays available via stats()).
+struct GraphCacheInstruments {
+  obs::Counter& lookups = obs::metrics().counter("graphcache.lookups");
+  obs::Counter& hits = obs::metrics().counter("graphcache.hits");
+  obs::Counter& builds = obs::metrics().counter("graphcache.builds");
+  obs::Counter& evictions = obs::metrics().counter("graphcache.evictions");
+  obs::Gauge& resident_graphs =
+      obs::metrics().gauge("graphcache.resident_graphs");
+  obs::Gauge& resident_bytes =
+      obs::metrics().gauge("graphcache.resident_bytes");
+
+  static GraphCacheInstruments& get() {
+    static GraphCacheInstruments& in = *new GraphCacheInstruments();
+    return in;
+  }
+};
+
+}  // namespace
 
 GraphHandle GraphCache::resolve(const std::string& id) {
   while (true) {
@@ -21,6 +46,8 @@ GraphHandle GraphCache::resolve(const std::string& id) {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.lookups;
       ++stats_.hits;
+      GraphCacheInstruments::get().lookups.add(1);
+      GraphCacheInstruments::get().hits.add(1);
       // Touch for LRU — unless a concurrent evict/clear already removed
       // the entry (the handle stays servable either way).
       if (entry->in_lru) lru_.splice(lru_.begin(), lru_, entry->lru_it);
@@ -41,6 +68,8 @@ GraphHandle GraphCache::resolve(const std::string& id) {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.lookups;
       ++stats_.builds;
+      GraphCacheInstruments::get().lookups.add(1);
+      GraphCacheInstruments::get().builds.add(1);
       auto it = entries_.find(id);
       if (it != entries_.end() && it->second == entry) {
         // Still the registered entry: intern and account for residency.
@@ -53,6 +82,9 @@ GraphHandle GraphCache::resolve(const std::string& id) {
         if (stats_.resident_bytes > stats_.resident_bytes_hwm) {
           stats_.resident_bytes_hwm = stats_.resident_bytes;
         }
+        GraphCacheInstruments::get().resident_graphs.set(
+            stats_.resident_graphs);
+        GraphCacheInstruments::get().resident_bytes.set(stats_.resident_bytes);
         return entry->graph;
       }
       // A concurrent clear() discarded the entry mid-build: hand this
@@ -77,6 +109,9 @@ void GraphCache::evict_locked(
   stats_.resident_bytes -= entry.graph->memory_bytes();
   --stats_.resident_graphs;
   ++stats_.evictions;
+  GraphCacheInstruments::get().evictions.add(1);
+  GraphCacheInstruments::get().resident_graphs.set(stats_.resident_graphs);
+  GraphCacheInstruments::get().resident_bytes.set(stats_.resident_bytes);
   lru_.erase(entry.lru_it);
   entry.in_lru = false;
   // Removing the map registration is what makes the next resolve rebuild

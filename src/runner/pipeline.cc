@@ -9,6 +9,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace asyncrv::runner {
@@ -60,48 +62,130 @@ void record_callback_error(ExperimentOutcome& out, const std::exception& e) {
   out.status = RunStatus::Error;
 }
 
+/// The pipeline's registry instruments, resolved once per process
+/// (DESIGN.md §11 naming scheme). Counters are bumped per cell; stage
+/// histograms observe one wall-clock sample per run per stage.
+struct PipelineInstruments {
+  obs::Counter& runs = obs::metrics().counter("pipeline.runs");
+  obs::Counter& cells = obs::metrics().counter("pipeline.cells");
+  obs::Counter& outcomes = obs::metrics().counter("pipeline.outcomes");
+  obs::Counter& cache_hits = obs::metrics().counter("pipeline.cache_hits");
+  obs::Counter& executed = obs::metrics().counter("pipeline.executed");
+  obs::Counter& batched_lanes =
+      obs::metrics().counter("pipeline.batched_lanes");
+  obs::Histogram& lookup_ns =
+      obs::metrics().histogram("pipeline.stage.lookup_ns");
+  obs::Histogram& form_ns =
+      obs::metrics().histogram("pipeline.stage.form_batches_ns");
+  obs::Histogram& execute_ns =
+      obs::metrics().histogram("pipeline.stage.execute_ns");
+  obs::Histogram& flush_ns =
+      obs::metrics().histogram("pipeline.stage.flush_ns");
+  obs::Histogram& sink_ns = obs::metrics().histogram("pipeline.stage.sink_ns");
+  obs::Histogram& cell_ns = obs::metrics().histogram("pipeline.cell_ns");
+  obs::Histogram& batch_ns = obs::metrics().histogram("pipeline.batch_ns");
+  obs::Histogram& store_ns = obs::metrics().histogram("pipeline.store_ns");
+
+  static PipelineInstruments& get() {
+    static PipelineInstruments& in = *new PipelineInstruments();
+    return in;
+  }
+};
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Times one pipeline stage into a histogram (plus a trace span with the
+/// same name, so the two observability views can never disagree on what a
+/// "stage" is).
+class StageTimer {
+ public:
+  StageTimer(const char* name, obs::Histogram& hist)
+      : span_(name, "pipeline"), hist_(hist), start_(mono_ns()) {}
+  ~StageTimer() { hist_.observe(mono_ns() - start_); }
+
+ private:
+  obs::ObsSpan span_;
+  obs::Histogram& hist_;
+  std::uint64_t start_;
+};
+
 /// Throttled cells/sec + ETA meter on stderr (PipelineOptions::progress).
 /// stderr only — sinks and the report never see it, so the byte-identity
 /// gates on JSONL/CSV are untouched by the flag.
+///
+/// The displayed numbers are READ from the pipeline's registry counters
+/// (outcomes / cache hits / executed / batched lanes, as deltas against
+/// the counter values at construction) rather than tallied privately —
+/// the meter and the final report count the same events by construction.
 class ProgressMeter {
  public:
   ProgressMeter(bool enabled, std::size_t total)
-      : enabled_(enabled), total_(total),
+      : enabled_(enabled), total_(total), in_(PipelineInstruments::get()),
+        base_outcomes_(in_.outcomes.value()),
+        base_hits_(in_.cache_hits.value()),
+        base_executed_(in_.executed.value()),
+        base_batched_(in_.batched_lanes.value()),
         start_(std::chrono::steady_clock::now()), last_(start_) {}
 
+  /// Called after each delivered outcome (its counters already bumped).
   void tick() {
     if (!enabled_) return;
     const std::lock_guard<std::mutex> lock(mu_);
-    ++done_;
+    const std::size_t done =
+        static_cast<std::size_t>(in_.outcomes.value() - base_outcomes_);
     const auto now = std::chrono::steady_clock::now();
-    if (done_ < total_ && now - last_ < std::chrono::milliseconds(250)) return;
+    if (done < total_ && now - last_ < std::chrono::milliseconds(250)) return;
     last_ = now;
-    print(now, done_ == total_);
+    print(done, now, done >= total_);
+    if (done >= total_) finished_ = true;
   }
 
   ~ProgressMeter() {
     if (!enabled_) return;
     const std::lock_guard<std::mutex> lock(mu_);
-    if (done_ != total_) print(std::chrono::steady_clock::now(), true);
+    if (!finished_) {
+      const std::size_t done =
+          static_cast<std::size_t>(in_.outcomes.value() - base_outcomes_);
+      print(done, std::chrono::steady_clock::now(), true);
+    }
   }
 
  private:
-  void print(std::chrono::steady_clock::time_point now, bool final) {
+  void print(std::size_t done, std::chrono::steady_clock::time_point now,
+             bool final) {
     const double secs =
         std::chrono::duration<double>(now - start_).count();
-    const double rate = secs > 0 ? static_cast<double>(done_) / secs : 0.0;
+    const double rate = secs > 0 ? static_cast<double>(done) / secs : 0.0;
     const double eta =
-        rate > 0 ? static_cast<double>(total_ - done_) / rate : 0.0;
-    std::fprintf(stderr, "\rprogress: %zu/%zu cells, %.0f cells/sec, ETA %.0fs",
-                 done_, total_, rate, eta);
+        rate > 0 && done < total_
+            ? static_cast<double>(total_ - done) / rate
+            : 0.0;
+    std::fprintf(stderr,
+                 "\rprogress: %zu/%zu cells, %.0f cells/sec, ETA %.0fs "
+                 "(%llu hits, %llu executed, %llu batched)",
+                 done, total_, rate, eta,
+                 static_cast<unsigned long long>(in_.cache_hits.value() -
+                                                 base_hits_),
+                 static_cast<unsigned long long>(in_.executed.value() -
+                                                 base_executed_),
+                 static_cast<unsigned long long>(in_.batched_lanes.value() -
+                                                 base_batched_));
     if (final) std::fprintf(stderr, "\n");
     std::fflush(stderr);
   }
 
   const bool enabled_;
   const std::size_t total_;
+  PipelineInstruments& in_;
+  const std::uint64_t base_outcomes_, base_hits_, base_executed_,
+      base_batched_;
   std::mutex mu_;
-  std::size_t done_ = 0;
+  bool finished_ = false;
   std::chrono::steady_clock::time_point start_, last_;
 };
 
@@ -231,6 +315,11 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
   PipelineReport report;
   report.outcomes.resize(specs.size());
 
+  PipelineInstruments& in = PipelineInstruments::get();
+  in.runs.add(1);
+  in.cells.add(specs.size());
+  const obs::ObsSpan run_span("pipeline.run", "pipeline");
+
   ProgressMeter progress(options_.progress, specs.size());
   std::mutex stream_mutex;
   const auto deliver = [&](const ExperimentSpec& spec, ExperimentOutcome& out) {
@@ -249,12 +338,15 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
   // Phase 1 — serve what the cache already knows.
   std::vector<std::size_t> misses;
   if (options_.cache) {
+    const StageTimer stage("pipeline.cache_lookup", in.lookup_ns);
     for (std::size_t i = 0; i < specs.size(); ++i) {
       if (auto cached = options_.cache->lookup(specs[i])) {
         cached->index = i;
         ++report.cache_hits;
+        in.cache_hits.add(1);
         deliver(specs[i], *cached);
         report.outcomes[i] = std::move(*cached);
+        in.outcomes.add(1);
         progress.tick();
       } else {
         misses.push_back(i);
@@ -274,6 +366,7 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
   std::vector<std::size_t> scalar_misses;
   std::vector<SpecBatch> batches;
   if (options_.batch) {
+    const StageTimer stage("pipeline.form_batches", in.form_ns);
     batches = form_batches(specs, misses, options_.batch_size, &scalar_misses);
   } else {
     scalar_misses = misses;
@@ -306,9 +399,12 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
     const auto store_and_deliver = [&](std::size_t i) {
       ExperimentOutcome& out = report.outcomes[i];
       if (options_.cache && !out.transient_error) {
+        const StageTimer store_stage("cache.store", in.store_ns);
         options_.cache->store(specs[i], out);
       }
       deliver(specs[i], out);
+      in.executed.add(1);
+      in.outcomes.add(1);
       progress.tick();
     };
     while (true) {
@@ -318,33 +414,47 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
         // A whole batch runs on one worker: its shared TrajKit memoizes
         // without locks, and its lanes' outcomes land directly in their
         // report slots (distinct per job, so no two workers collide).
-        batched.fetch_add(run_spec_batch(specs, batches[j], &scratch, graphs,
-                                         report.outcomes.data()));
+        {
+          const StageTimer batch_stage("pipeline.batch", in.batch_ns);
+          const std::uint64_t lanes = run_spec_batch(
+              specs, batches[j], &scratch, graphs, report.outcomes.data());
+          batched.fetch_add(lanes);
+          in.batched_lanes.add(lanes);
+        }
         for (const std::size_t i : batches[j].indices) store_and_deliver(i);
         continue;
       }
       const std::size_t i = scalar_misses[j - batches.size()];
-      ExperimentOutcome out = run_experiment(specs[i], &scratch, graphs);
-      out.index = i;
-      report.outcomes[i] = std::move(out);
+      {
+        const StageTimer cell_stage("pipeline.cell", in.cell_ns);
+        ExperimentOutcome out = run_experiment(specs[i], &scratch, graphs);
+        out.index = i;
+        report.outcomes[i] = std::move(out);
+      }
       store_and_deliver(i);
     }
   };
 
-  if (n_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  {
+    const StageTimer stage("pipeline.execute", in.execute_ns);
+    if (n_threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(n_threads);
+      for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
   }
   report.batched = batched.load();
 
   // Group commit: whatever the cache buffered during this run (packed
   // appends, or Batch-durability loose renames) becomes durable with one
   // fsync here instead of one per cell.
-  if (options_.cache) options_.cache->flush();
+  if (options_.cache) {
+    const StageTimer stage("cache.flush", in.flush_ns);
+    options_.cache->flush();
+  }
 
   report.graph_stats = graphs->stats();
 
@@ -360,8 +470,11 @@ PipelineReport ExperimentPipeline::run(std::vector<ExperimentSpec> specs) const 
     report.rows.push_back(sweep_row(report.specs[i], out));
     accumulate(report.totals, out.status_label(), out.cost);
   }
-  for (ResultSink* sink : options_.sinks) {
-    if (sink) emit(*sink, report.schema, report.rows);
+  {
+    const StageTimer stage("pipeline.sink", in.sink_ns);
+    for (ResultSink* sink : options_.sinks) {
+      if (sink) emit(*sink, report.schema, report.rows);
+    }
   }
   return report;
 }

@@ -1,5 +1,6 @@
 #include "runner/shard.h"
 
+#include <limits.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -10,6 +11,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
 #include "runner/encoding.h"
 #include "runner/pipeline.h"
 
@@ -40,6 +42,7 @@ std::vector<std::vector<std::size_t>> plan_shards(
 ShardWorkerStats run_shard(const std::vector<ExperimentSpec>& specs,
                            const std::vector<std::size_t>& shard,
                            const ShardWorkerOptions& options) {
+  const obs::ObsSpan span("shard.worker", "shard");
   ShardWorkerStats stats;
   stats.cells = shard.size();
 
@@ -130,11 +133,16 @@ ShardRun run_sharded(const std::vector<ExperimentSpec>& specs,
       throw std::runtime_error("run_sharded: fork() failed");
     }
     if (pid == 0) {
-      // Worker: execute the shard, report one stats line, and _exit —
-      // never return into the parent's stack.
+      // Worker: execute the shard, report one stats line (plus one metrics
+      // line), and _exit — never return into the parent's stack.
       ::close(pipe_fds[0]);
+      // The child inherits whatever the parent's registry accumulated;
+      // reset so the shipped snapshot covers exactly this worker's shard
+      // and the parent's merge never double-counts inherited totals.
+      obs::metrics().reset();
       int code = 1;
       std::string line;
+      std::string metrics_line;
       try {
         ShardWorkerOptions wopts;
         wopts.cache_dir = options.cache_dir;
@@ -150,6 +158,9 @@ ShardRun run_sharded(const std::vector<ExperimentSpec>& specs,
                " executed " + std::to_string(s.executed) + " fsyncs " +
                std::to_string(s.fsyncs) + " store_bytes " +
                std::to_string(s.store_bytes) + "\n";
+        metrics_line = "metrics " + std::to_string(k) + " " +
+                       percent_escape(obs::metrics().snapshot().to_text()) +
+                       "\n";
         code = 0;
       } catch (const std::exception& e) {
         line = "shard " + std::to_string(k) + " error " +
@@ -158,6 +169,13 @@ ShardRun run_sharded(const std::vector<ExperimentSpec>& specs,
       // One line well under PIPE_BUF: the write is atomic, so concurrent
       // workers' reports never interleave mid-line.
       (void)!::write(pipe_fds[1], line.data(), line.size());
+      // The metrics snapshot rides the same pipe as its own line (escaped,
+      // so newline-free). Only a line that fits one atomic write is sent —
+      // a too-large snapshot is dropped rather than risk tearing another
+      // worker's report mid-line.
+      if (!metrics_line.empty() && metrics_line.size() <= PIPE_BUF) {
+        (void)!::write(pipe_fds[1], metrics_line.data(), metrics_line.size());
+      }
       ::_exit(code);
     }
     ShardWorkerResult res;
@@ -188,6 +206,24 @@ ShardRun run_sharded(const std::vector<ExperimentSpec>& specs,
 
   LineReader in(blob);
   while (const auto line = in.line()) {
+    // Metrics lines: "metrics <shard> <percent-escaped snapshot>". The
+    // payload contains spaces, so split only the two-token prefix.
+    if (line->rfind("metrics ", 0) == 0) {
+      const std::size_t sp = line->find(' ', 8);
+      if (sp == std::string::npos) continue;
+      const auto shard = LineReader::parse_u64(line->substr(8, sp - 8));
+      const auto text = percent_unescape(line->substr(sp + 1));
+      if (!shard || !text) continue;
+      const auto snap = obs::Snapshot::from_text(*text);
+      if (!snap) continue;
+      for (ShardWorkerResult& w : run.workers) {
+        if (static_cast<std::uint64_t>(w.shard) != *shard) continue;
+        w.metrics = *snap;
+        run.fleet_metrics.merge(*snap);
+        break;
+      }
+      continue;
+    }
     const auto f = split(*line, ' ');
     if (f.size() != 12 || f[0] != "shard") continue;  // error line or torn
     const auto shard = LineReader::parse_u64(f[1]);

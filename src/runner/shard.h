@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runner/cache.h"
 #include "runner/spec.h"
 
@@ -90,10 +91,18 @@ struct ShardWorkerResult {
   int wait_status = 0;  ///< raw waitpid status (WIFEXITED / WIFSIGNALED)
   bool reported = false;///< stats line received (false for killed workers)
   ShardWorkerStats stats;
+  /// The worker's full metrics-registry snapshot (asyncrv.metrics.v1),
+  /// shipped over the stats pipe. Empty for killed workers and for
+  /// snapshots too large for one atomic pipe write.
+  obs::Snapshot metrics;
 };
 
 struct ShardRun {
   std::vector<ShardWorkerResult> workers;
+  /// Fleet totals: every reporting worker's snapshot merged (counters and
+  /// histograms add, gauges high-water) — the cross-process view of the
+  /// same registry every in-process layer feeds.
+  obs::Snapshot fleet_metrics;
   /// True iff every worker exited 0 — the precondition for merging. A
   /// killed or failed worker leaves holes in the cache; merging anyway
   /// would silently re-execute them in-process, defeating the count

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/trace.h"
 #include "runner/encoding.h"
 #include "service/server.h"
 
@@ -50,7 +51,10 @@ int usage(const char* argv0) {
       << "  --request-threads <n> pipeline threads per job (0 = hardware)\n"
       << "  --queue <n>           queued jobs beyond active before busy\n"
       << "  --batch-size <n>      lockstep-engine lanes per batch\n"
-      << "  --no-batch            run every cell on the scalar engine\n";
+      << "  --no-batch            run every cell on the scalar engine\n"
+      << "  --trace-out <path>    record spans (daemon jobs, pipeline\n"
+      << "                        stages) and write Chrome trace_event\n"
+      << "                        JSON here on exit\n";
   return 2;
 }
 
@@ -58,6 +62,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   asyncrv::service::ServerOptions options;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +104,10 @@ int main(int argc, char** argv) {
       options.batch_size = static_cast<std::size_t>(n);
     } else if (arg == "--no-batch") {
       options.batch = false;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') return usage(argv[0]);
+      trace_out = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -109,6 +118,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!trace_out.empty()) asyncrv::obs::Tracer::global().enable();
     asyncrv::service::Server server(options);
     server.bind();
     g_server = &server;
@@ -122,6 +132,10 @@ int main(int argc, char** argv) {
               << std::endl;
     const int rc = server.run();
     g_server = nullptr;
+    if (!trace_out.empty() &&
+        !asyncrv::obs::Tracer::global().write_chrome_json(trace_out)) {
+      std::cerr << "asyncrvd: could not write trace to " << trace_out << "\n";
+    }
     return rc;
   } catch (const std::exception& e) {
     std::cerr << "asyncrvd: " << e.what() << "\n";

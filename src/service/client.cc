@@ -159,6 +159,27 @@ std::optional<std::map<std::string, std::string>> Client::status() {
   }
 }
 
+std::optional<obs::Snapshot> Client::metrics() {
+  const auto head = request(metrics_request());
+  if (!head || !head->ok) return std::nullopt;
+  // Reassemble the wire lines into the exact to_text() document (its own
+  // `end` line is the terminator) and let the strict parser validate it.
+  std::string text;
+  while (true) {
+    const auto line = read_line();
+    if (!line) return std::nullopt;
+    text += *line;
+    text += '\n';
+    if (*line == "end") break;
+  }
+  auto snap = obs::Snapshot::from_text(text);
+  if (!snap) {
+    last_error_ = "malformed metrics snapshot";
+    return std::nullopt;
+  }
+  return snap;
+}
+
 std::optional<Client::JobStats> Client::streamed_job(
     const std::string& frame,
     const std::function<void(const std::string&)>& on_row) {

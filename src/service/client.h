@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runner/spec.h"
 
 namespace asyncrv::service {
@@ -50,6 +51,10 @@ class Client {
 
   /// STATUS as a key -> value map; nullopt on failure.
   std::optional<std::map<std::string, std::string>> status();
+
+  /// METRICS: the daemon's live obs registry snapshot (parsed back from
+  /// its asyncrv.metrics.v1 wire form); nullopt on failure.
+  std::optional<obs::Snapshot> metrics();
 
   /// The daemon-side completion counters of a streamed job (the `end` line).
   struct JobStats {

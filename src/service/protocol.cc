@@ -120,6 +120,7 @@ RequestParser::Event RequestParser::header_event(const std::string& line) {
   };
   if (verb == "PING") return simple(Verb::Ping);
   if (verb == "STATUS") return simple(Verb::Status);
+  if (verb == "METRICS") return simple(Verb::Metrics);
   if (verb == "SUBSCRIBE") return simple(Verb::Subscribe);
   if (verb == "DRAIN") return simple(Verb::Drain);
   if (verb == "SHUTDOWN") return simple(Verb::Shutdown);
@@ -301,6 +302,7 @@ std::string header(const std::string& rest) {
 
 std::string ping_request() { return header("PING"); }
 std::string status_request() { return header("STATUS"); }
+std::string metrics_request() { return header("METRICS"); }
 
 std::string run_request(const runner::ExperimentSpec& spec) {
   return header("RUN " + runner::percent_escape(spec.canonical()));

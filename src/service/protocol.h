@@ -11,6 +11,7 @@
 //
 //   asyncrv.proto.v1 PING
 //   asyncrv.proto.v1 STATUS
+//   asyncrv.proto.v1 METRICS
 //   asyncrv.proto.v1 RUN <escaped-canonical-spec>
 //   asyncrv.proto.v1 SWEEP          \n spec <escaped-canonical-spec> ... \n end
 //   asyncrv.proto.v1 SEARCH <graph> [objective] [optimizer] [evals] [seed]
@@ -34,6 +35,9 @@
 //                                    bad-request, bad-spec, too-large,
 //                                    busy, draining, internal)
 //   ok status \n key=value ... \n end            (STATUS)
+//   ok metrics \n <asyncrv.metrics.v1 lines> \n end    (METRICS) — the
+//                                    daemon's live obs::MetricsRegistry
+//                                    snapshot, in its to_text() form
 //   ok run|sweep|search id=<j> specs=<n>         (job accepted) followed by
 //     row <jsonl>                     one per scenario, in spec order; the
 //                                     payload is byte-identical to the
@@ -77,6 +81,7 @@ inline constexpr std::size_t kMaxSweepSpecs = 100'000;
 enum class Verb {
   Ping,
   Status,
+  Metrics,
   Run,
   Sweep,
   Search,
@@ -162,6 +167,7 @@ class RequestParser {
 
 std::string ping_request();
 std::string status_request();
+std::string metrics_request();
 std::string run_request(const runner::ExperimentSpec& spec);
 std::string sweep_request(const std::vector<runner::ExperimentSpec>& specs);
 std::string search_request(const std::string& graph,

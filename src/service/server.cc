@@ -7,15 +7,35 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/pipeline.h"
 
 namespace asyncrv::service {
 
 namespace {
+
+/// The daemon's registry instruments (DESIGN.md §11) — mirrors of the
+/// member tallies STATUS reports, so METRICS and STATUS can be
+/// cross-checked against each other (the CI obs-smoke job does).
+struct DaemonInstruments {
+  obs::Counter& jobs_completed =
+      obs::metrics().counter("daemon.jobs_completed");
+  obs::Counter& rows_streamed = obs::metrics().counter("daemon.rows_streamed");
+  obs::Counter& busy_rejections =
+      obs::metrics().counter("daemon.busy_rejections");
+  obs::Histogram& job_ns = obs::metrics().histogram("daemon.job_ns");
+
+  static DaemonInstruments& get() {
+    static DaemonInstruments& in = *new DaemonInstruments();
+    return in;
+  }
+};
 
 void close_if_open(int& fd) {
   if (fd >= 0) {
@@ -126,6 +146,8 @@ void Server::worker_main() {
 }
 
 void Server::run_job(const Job& job) {
+  const obs::ObsSpan span("daemon.job", "daemon");
+  const auto job_start = std::chrono::steady_clock::now();
   const std::size_t n = job.specs.size();
   const runner::Schema schema = runner::sweep_schema();
 
@@ -163,6 +185,7 @@ void Server::run_job(const Job& job) {
       }
       if (!chunk.empty()) {
         rows_streamed_.fetch_add(flushed, std::memory_order_relaxed);
+        DaemonInstruments::get().rows_streamed.add(flushed);
         post(job.conn_gen, std::move(chunk));
       }
       post(0, "event job=" + std::to_string(job.id) +
@@ -190,6 +213,10 @@ void Server::run_job(const Job& job) {
   } catch (...) {
     tail = err_line(ErrCode::Internal, "job failed");
   }
+  DaemonInstruments::get().job_ns.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - job_start)
+          .count()));
   // The done event goes out BEFORE the job_done accounting entry, so a
   // subscriber watching a drain sees every job's done event ahead of the
   // final `end drained`.
@@ -214,6 +241,7 @@ void Server::drain_outbox() {
     if (out.job_done) {
       --in_flight_;
       ++jobs_completed_;
+      DaemonInstruments::get().jobs_completed.add(1);
       // Group-commit boundary: everything the finished job stored is
       // crash-durable before its `done` frame reaches the client. (The
       // pipeline already flushed at end of run; this is a cheap no-op
@@ -269,6 +297,12 @@ std::string Server::status_response() const {
   return r;
 }
 
+std::string Server::metrics_response() const {
+  // The snapshot's text form supplies its own `end` trailer, so the frame
+  // is exactly: ok head, version line, instrument lines, end.
+  return ok_line("metrics") + obs::metrics().snapshot().to_text();
+}
+
 void Server::admit_job(Connection& conn, const char* kind,
                        std::vector<runner::ExperimentSpec> specs) {
   if (draining_) {
@@ -277,6 +311,7 @@ void Server::admit_job(Connection& conn, const char* kind,
   }
   if (in_flight_ >= options_.jobs + options_.max_queue) {
     ++busy_rejections_;
+    DaemonInstruments::get().busy_rejections.add(1);
     conn.out += err_line(ErrCode::Busy, "admission queue full");
     return;
   }
@@ -302,6 +337,9 @@ void Server::handle_request(Connection& conn, const Request& request) {
       return;
     case Verb::Status:
       conn.out += status_response();
+      return;
+    case Verb::Metrics:
+      conn.out += metrics_response();
       return;
     case Verb::Subscribe:
       conn.subscribed = true;

@@ -141,6 +141,9 @@ class Server {
   void admit_job(Connection& conn, const char* kind,
                  std::vector<runner::ExperimentSpec> specs);
   std::string status_response() const;
+  /// "ok metrics" + the live registry snapshot in asyncrv.metrics.v1 text
+  /// form (whose own `end` line terminates the frame).
+  std::string metrics_response() const;
   void finish_drain();  ///< answer waiters/subscribers, mark loop done
 
   ServerOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "sim/adversary.h"
 
 namespace asyncrv::sim {
@@ -72,6 +73,7 @@ void BatchEngine::wake(int lane, int idx) {
 
 void BatchEngine::fire_meeting(int lane, int mover,
                                const std::vector<int>& group) {
+  ++stat_meetings_;
   // Wake dormant members first (a woken agent participates in the meeting).
   for (int i : group) wake(lane, i);
   if (EventSink* sink = st_.lane_sink[checked_lane(lane)]) {
@@ -82,6 +84,7 @@ void BatchEngine::fire_meeting(int lane, int mover,
 bool BatchEngine::process_sweep(const Graph& g, int lane, int idx,
                                 std::size_t s, std::int64_t from_prog,
                                 std::int64_t to_prog) {
+  ++stat_sweeps_;
   const std::size_t l = checked_lane(lane);
   const Move& m = st_.cur[s];
   ASYNCRV_DCHECK(st_.has_cur[s] != 0);
@@ -294,6 +297,30 @@ std::vector<RendezvousResult> run_rendezvous_batch(
       engine.advance(lane, step.agent, step.delta);
       ++i;
     }
+  }
+
+  // One registry burst per batch (cf. the scalar flush in run_rendezvous):
+  // the lockstep inner loop itself records nothing.
+  {
+    struct Instruments {
+      obs::Counter& lanes = obs::metrics().counter("batch.lanes");
+      obs::Counter& steps = obs::metrics().counter("batch.steps");
+      obs::Counter& sweeps = obs::metrics().counter("batch.sweeps");
+      obs::Counter& meetings = obs::metrics().counter("batch.meetings");
+      obs::Counter& traversals = obs::metrics().counter("batch.traversals");
+    };
+    static Instruments& in = *new Instruments();
+    std::uint64_t total_steps = 0, total_traversals = 0;
+    for (int lane = 0; lane < n_lanes; ++lane) {
+      const std::size_t l = static_cast<std::size_t>(lane);
+      total_steps += steps[l];
+      total_traversals += out[l].traversals_a + out[l].traversals_b;
+    }
+    in.lanes.add(static_cast<std::uint64_t>(n_lanes));
+    in.steps.add(total_steps);
+    in.sweeps.add(engine.sweep_count());
+    in.meetings.add(engine.meeting_count());
+    in.traversals.add(total_traversals);
   }
   return out;
 }

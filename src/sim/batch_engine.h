@@ -96,6 +96,12 @@ class BatchEngine {
     return *st_.lane_graph[checked_lane(lane)];
   }
 
+  /// Sweeps processed / meeting events fired across ALL lanes of this
+  /// batch — plain tallies like SimEngine's, flushed to the metrics
+  /// registry once per run_rendezvous_batch.
+  std::uint64_t sweep_count() const { return stat_sweeps_; }
+  std::uint64_t meeting_count() const { return stat_meetings_; }
+
  private:
   std::size_t checked_lane(int lane) const {
     ASYNCRV_DCHECK(lane >= 0 && lane < lane_count());
@@ -155,6 +161,8 @@ class BatchEngine {
   // nothing, whatever the batch size.
   mutable InlineVec<EngineScratch::Contact, 8> contacts_;
   std::vector<int> group_;
+  std::uint64_t stat_sweeps_ = 0;
+  std::uint64_t stat_meetings_ = 0;
 };
 
 /// Per-lane driver inputs of run_rendezvous_batch: the adversary making

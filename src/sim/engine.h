@@ -164,6 +164,12 @@ class SimEngine {
   Pos meeting_point() const { return meeting_; }
   const Graph& graph() const { return *g_; }
 
+  /// Sweeps processed / meeting events fired over this engine's lifetime —
+  /// plain per-engine tallies (no atomics on the hot path); run loops
+  /// flush them into the obs::MetricsRegistry once per run.
+  std::uint64_t sweep_count() const { return stat_sweeps_; }
+  std::uint64_t meeting_count() const { return stat_meetings_; }
+
   /// Switches sweeps (and would_meet_within_edge) to the retained naive
   /// all-agents scan instead of the occupancy index — the differential
   /// oracle for tests/engine_fuzz_test.cc. Results must be identical
@@ -237,6 +243,8 @@ class SimEngine {
   bool met_ = false;
   bool reference_scan_ = false;
   Pos meeting_;
+  std::uint64_t stat_sweeps_ = 0;
+  std::uint64_t stat_meetings_ = 0;
 };
 
 /// Drives a Halt-policy engine with the adversary until a meeting, until

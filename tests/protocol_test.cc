@@ -54,22 +54,23 @@ TEST(Protocol, ClientBuildersRoundTripThroughTheParser) {
 
   auto events = pump(parser, service::ping_request() +
                                  service::status_request() +
+                                 service::metrics_request() +
                                  service::subscribe_request() +
                                  service::drain_request() +
                                  service::shutdown_request() +
                                  service::evict_request(std::nullopt) +
                                  service::evict_request(1 << 20));
-  ASSERT_EQ(events.size(), 7u);
-  const Verb expected[] = {Verb::Ping,     Verb::Status, Verb::Subscribe,
-                           Verb::Drain,    Verb::Shutdown, Verb::Evict,
-                           Verb::Evict};
+  ASSERT_EQ(events.size(), 8u);
+  const Verb expected[] = {Verb::Ping,     Verb::Status, Verb::Metrics,
+                           Verb::Subscribe, Verb::Drain,  Verb::Shutdown,
+                           Verb::Evict,     Verb::Evict};
   for (std::size_t i = 0; i < events.size(); ++i) {
     ASSERT_TRUE(events[i].request.has_value()) << "frame " << i;
     EXPECT_EQ(events[i].request->verb, expected[i]) << "frame " << i;
   }
-  EXPECT_FALSE(events[5].request->has_bytes);
-  EXPECT_TRUE(events[6].request->has_bytes);
-  EXPECT_EQ(events[6].request->bytes, 1u << 20);
+  EXPECT_FALSE(events[6].request->has_bytes);
+  EXPECT_TRUE(events[7].request->has_bytes);
+  EXPECT_EQ(events[7].request->bytes, 1u << 20);
 
   // RUN and SWEEP carry specs that must round-trip exactly — equal
   // canonical forms mean equal fingerprints, the whole point of shipping
@@ -144,7 +145,9 @@ TEST(Protocol, UnknownVerbsAndMalformedArgumentsAreBadRequests) {
         v + " SEARCH\n", v + " SEARCH ring:6 bad-objective\n",
         v + " SEARCH ring:6 rv-cost bad-optimizer\n",
         v + " SEARCH ring:6 rv-cost hill nan\n",
-        v + " SWEEP trailing\n"}) {
+        v + " SWEEP trailing\n", v + " METRICS extra\n",
+        v + " METRICS 0 1 2\n", v + " metrics\n",
+        v + " METRICS \xff\xfe\n"}) {
     const auto events = pump(parser, bad);
     ASSERT_EQ(events.size(), 1u) << bad;
     ASSERT_TRUE(events[0].error.has_value()) << bad;
